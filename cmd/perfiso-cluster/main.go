@@ -1,0 +1,61 @@
+// Command perfiso-cluster regenerates Fig. 9: per-layer query latency
+// on the discrete-event IndexServe cluster — standalone, then colocated
+// with PerfIso-managed CPU-bound and disk-bound secondaries.
+//
+// Usage:
+//
+//	perfiso-cluster [-columns N] [-queries N] [-rate QPS-per-row]
+//	                [-scale test|paper]
+//
+// The paper topology (22 columns × 2 rows, 200k queries at 4,000 QPS
+// per row) simulates tens of millions of scheduling events; -scale test
+// runs a structurally identical 4×2 cluster in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfiso/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "test", `cluster scale: "test" or "paper"`)
+	columns := flag.Int("columns", 0, "override columns per row")
+	queries := flag.Int("queries", 0, "override trace length")
+	warmup := flag.Int("warmup", 0, "override warmup prefix")
+	rate := flag.Float64("rate", 0, "override per-row query rate")
+	seed := flag.Uint64("seed", 0, "override seed")
+	flag.Parse()
+
+	var scale experiments.Fig9Scale
+	switch *scaleName {
+	case "test":
+		scale = experiments.TestFig9Scale()
+	case "paper":
+		scale = experiments.PaperFig9Scale()
+	default:
+		fmt.Fprintf(os.Stderr, "perfiso-cluster: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *columns > 0 {
+		scale.Columns = *columns
+	}
+	if *queries > 0 {
+		scale.Queries = *queries
+	}
+	if *warmup > 0 {
+		scale.Warmup = *warmup
+	}
+	if *rate > 0 {
+		scale.RatePerRow = *rate
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	fmt.Printf("cluster: %d columns × 2 rows, %d queries at %.0f QPS/row\n\n",
+		scale.Columns, scale.Queries, scale.RatePerRow)
+	fmt.Println(experiments.RunFig9(scale).Table())
+}

@@ -1,0 +1,74 @@
+// Command perfiso-single regenerates the single-machine figures of the
+// paper's evaluation (Figs. 4–8 plus the §1 utilization headline) on
+// the simulated 48-core server.
+//
+// Usage:
+//
+//	perfiso-single [-figures 4,5,6,7,8,headline] [-scale test|paper]
+//	               [-queries N -warmup N -seed S]
+//
+// The paper scale replays 500k queries per cell and takes a while; the
+// default test scale preserves the published shapes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"perfiso/internal/experiments"
+)
+
+func main() {
+	figures := flag.String("figures", "4,5,6,7,8,headline", "comma-separated figures to run (4,5,6,7,8,headline,timeline)")
+	scaleName := flag.String("scale", "test", `trace scale: "test" or "paper"`)
+	queries := flag.Int("queries", 0, "override trace length")
+	warmup := flag.Int("warmup", 0, "override warmup prefix")
+	seed := flag.Uint64("seed", 0, "override seed")
+	fig8qps := flag.Float64("fig8-qps", 2000, "load for the Fig. 8 comparison")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "test":
+		scale = experiments.TestScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "perfiso-single: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *queries > 0 {
+		scale.Queries = *queries
+	}
+	if *warmup > 0 {
+		scale.Warmup = *warmup
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	for _, fig := range strings.Split(*figures, ",") {
+		switch strings.TrimSpace(fig) {
+		case "4":
+			fmt.Println(experiments.RunFig4(scale).Table())
+		case "5":
+			fmt.Println(experiments.RunFig5(scale).Table())
+		case "6":
+			fmt.Println(experiments.RunFig6(scale).Table())
+		case "7":
+			fmt.Println(experiments.RunFig7(scale).Table())
+		case "8":
+			fmt.Println(experiments.RunFig8(*fig8qps, scale).Table())
+		case "headline":
+			fmt.Println(experiments.RunHeadline(scale).Table())
+		case "timeline":
+			fmt.Println(experiments.RunTimeline(experiments.DefaultTimelineConfig()).Table(5))
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "perfiso-single: unknown figure %q\n", fig)
+			os.Exit(2)
+		}
+	}
+}

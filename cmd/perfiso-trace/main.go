@@ -1,0 +1,143 @@
+// Command perfiso-trace generates and inspects the binary query traces
+// the experiment runners replay (the counterpart of §5.3's 500k-query
+// production trace).
+//
+// Usage:
+//
+//	perfiso-trace gen  -out trace.bin [-queries 500000] [-rate 2000] [-seed 2017]
+//	perfiso-trace info -in trace.bin
+//	perfiso-trace replay -in trace.bin [-warmup N] [-bully N] [-buffer B]
+//
+// replay runs the trace against a single simulated node, optionally
+// colocated with a CPU bully under blind isolation, and prints the
+// latency summary — the building block of every Fig. 4–8 cell, driven
+// from a file instead of an in-memory trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfiso/internal/core"
+	"perfiso/internal/node"
+	"perfiso/internal/sim"
+	"perfiso/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: perfiso-trace gen|info|replay [flags]")
+	os.Exit(2)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "", "output file (required)")
+	queries := fs.Int("queries", 500000, "trace length")
+	rate := fs.Float64("rate", 2000, "arrival rate (QPS)")
+	seed := fs.Uint64("seed", 2017, "generator seed")
+	fs.Parse(args)
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "perfiso-trace gen: -out is required")
+		os.Exit(2)
+	}
+	trace := workload.GenerateTrace(workload.TraceConfig{Queries: *queries, Rate: *rate, Seed: *seed})
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := workload.WriteTrace(f, trace); err != nil {
+		fatal(err)
+	}
+	st := workload.Stats(trace)
+	fmt.Printf("wrote %d queries spanning %.1fs (%.0f QPS) to %s\n",
+		st.Queries, st.Span.Seconds(), st.MeanRate, *out)
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "trace file (required)")
+	fs.Parse(args)
+	trace := load(*in)
+	st := workload.Stats(trace)
+	fmt.Printf("queries:   %d\n", st.Queries)
+	fmt.Printf("span:      %.2fs\n", st.Span.Seconds())
+	fmt.Printf("mean rate: %.1f QPS\n", st.MeanRate)
+	fmt.Printf("gaps:      min %v, max %v\n", st.MinGap, st.MaxGap)
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "", "trace file (required)")
+	warmup := fs.Int("warmup", 0, "warmup queries excluded from measurement")
+	bully := fs.Int("bully", 0, "CPU bully threads (0 = standalone)")
+	buffer := fs.Int("buffer", 8, "blind-isolation buffer cores (0 = no isolation)")
+	fs.Parse(args)
+	trace := load(*in)
+	if len(trace) == 0 {
+		fatal(fmt.Errorf("empty trace"))
+	}
+
+	eng := sim.NewEngine()
+	n := node.New(eng, node.DefaultConfig())
+	if *bully > 0 {
+		b := workload.NewCPUBully(n.CPU, "bully", *bully)
+		b.Start()
+		if *buffer > 0 {
+			cfg := core.DefaultConfig()
+			cfg.BufferCores = *buffer
+			ctrl, err := core.NewController(n.OS, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			ctrl.ManageSecondary(b.Proc)
+			ctrl.Start()
+		}
+	}
+	n.ReplayTrace(trace, *warmup)
+	last := trace[len(trace)-1].Arrival
+	eng.Run(last.Add(sim.Duration(node.DefaultConfig().IndexServe.Deadline) + sim.Second))
+
+	fmt.Printf("latency:  %v\n", n.Server.Latency.Summary())
+	fmt.Printf("dropped:  %.2f%%\n", 100*n.Server.DropRate())
+	fmt.Printf("cpu:      %v\n", n.CPU.Breakdown())
+}
+
+func load(path string) []workload.QuerySpec {
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "perfiso-trace: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	trace, err := workload.ReadTrace(f)
+	if err != nil {
+		fatal(err)
+	}
+	return trace
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfiso-trace:", err)
+	os.Exit(1)
+}

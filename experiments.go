@@ -1,0 +1,150 @@
+package perfiso
+
+import (
+	"perfiso/internal/cluster"
+	"perfiso/internal/experiments"
+)
+
+// The figure runners below regenerate the paper's evaluation. Each
+// accepts a Scale so callers choose between the full published trace
+// (PaperScale, 500k queries) and a fast test-sized run (TestScale).
+
+// Scale sizes a single-machine experiment run.
+type Scale = experiments.Scale
+
+// PaperScale is the full §5.3 trace: 500k queries, 100k warmup.
+func PaperScale() Scale { return experiments.PaperScale() }
+
+// TestScale is a fast run with enough samples for a stable P99.
+func TestScale() Scale { return experiments.TestScale() }
+
+// SingleResult is one single-machine experiment cell.
+type SingleResult = experiments.SingleResult
+
+// Fig4Result holds the no-isolation colocation grid of Figs. 4a/4b.
+type Fig4Result = experiments.Fig4
+
+// Fig5Result holds the blind-isolation buffer sweep of Figs. 5a/5b.
+type Fig5Result = experiments.Fig5
+
+// Fig6Result holds the static core-restriction sweep of Figs. 6a/6b.
+type Fig6Result = experiments.Fig6
+
+// Fig7Result holds the cycle-cap sweep of Figs. 7a/7b/7c.
+type Fig7Result = experiments.Fig7
+
+// Fig8Result holds the isolation comparison of Figs. 8a/8b/8c.
+type Fig8Result = experiments.Fig8
+
+// Fig9Result holds the cluster per-layer latencies of Figs. 9a–9c.
+type Fig9Result = experiments.Fig9
+
+// Fig9Scale sizes the cluster experiment.
+type Fig9Scale = experiments.Fig9Scale
+
+// HeadlineResult is the §1 utilization headline (21% → 66%).
+type HeadlineResult = experiments.Headline
+
+// ProductionResult is the Fig. 10 series from the 650-machine fluid
+// model.
+type ProductionResult = cluster.ProductionResult
+
+// ProductionConfig parameterizes the fluid model.
+type ProductionConfig = cluster.ProductionConfig
+
+// RunFig4 reproduces Figs. 4a/4b: standalone vs unrestricted mid/high
+// secondaries at 2,000 and 4,000 QPS.
+func RunFig4(s Scale) Fig4Result { return experiments.RunFig4(s) }
+
+// RunFig5 reproduces Figs. 5a/5b: blind isolation with 4 and 8 buffer
+// cores under the high secondary.
+func RunFig5(s Scale) Fig5Result { return experiments.RunFig5(s) }
+
+// RunFig6 reproduces Figs. 6a/6b: static restriction to 24/16/8 cores.
+func RunFig6(s Scale) Fig6Result { return experiments.RunFig6(s) }
+
+// RunFig7 reproduces Figs. 7a/7b/7c: cycle caps of 45%/25%/5%.
+func RunFig7(s Scale) Fig7Result { return experiments.RunFig7(s) }
+
+// RunFig8 reproduces Figs. 8a/8b/8c: the five-way comparison at the
+// given load (the paper uses 2,000 QPS).
+func RunFig8(qps float64, s Scale) Fig8Result { return experiments.RunFig8(qps, s) }
+
+// RunFig9 reproduces Figs. 9a–9c on the full discrete-event cluster:
+// standalone, CPU-bound and disk-bound secondaries under PerfIso.
+func RunFig9(s Fig9Scale) Fig9Result { return experiments.RunFig9(s) }
+
+// PaperFig9Scale is the full 75-machine §5.3 setup.
+func PaperFig9Scale() Fig9Scale { return experiments.PaperFig9Scale() }
+
+// TestFig9Scale is a reduced topology with the same structure.
+func TestFig9Scale() Fig9Scale { return experiments.TestFig9Scale() }
+
+// RunFig10 reproduces Fig. 10: the 650-machine production hour.
+func RunFig10() ProductionResult { return experiments.RunFig10() }
+
+// RunProduction runs the fluid model with a custom configuration.
+func RunProduction(cfg ProductionConfig) ProductionResult { return cluster.RunProduction(cfg) }
+
+// DefaultProductionConfig mirrors Fig. 10's setup.
+func DefaultProductionConfig() ProductionConfig { return cluster.DefaultProductionConfig() }
+
+// RunHeadline reproduces the §1 headline utilization numbers.
+func RunHeadline(s Scale) HeadlineResult { return experiments.RunHeadline(s) }
+
+// RunColocation is the general single-machine cell: IndexServe at qps
+// colocated with a CPU bully of the given thread count under pol (nil
+// for no isolation).
+func RunColocation(qps float64, bullyThreads int, pol Policy, s Scale) SingleResult {
+	mode := experiments.BullyOff
+	switch {
+	case bullyThreads >= 48:
+		mode = experiments.BullyHigh
+	case bullyThreads > 0:
+		mode = experiments.BullyMid
+	}
+	return experiments.RunSingle(qps, mode, pol, s)
+}
+
+// ClusterConfig sizes a discrete-event cluster.
+type ClusterConfig = cluster.Config
+
+// Cluster is the assembled TLA/MLA/row deployment.
+type Cluster = cluster.Cluster
+
+// ClusterResult is a per-layer latency summary.
+type ClusterResult = cluster.Result
+
+// DefaultClusterConfig is the 75-machine §5.3 topology.
+func DefaultClusterConfig() ClusterConfig { return cluster.DefaultConfig() }
+
+// ScaledClusterConfig shrinks the topology to cols columns × 2 rows.
+func ScaledClusterConfig(cols int) ClusterConfig { return cluster.ScaledConfig(cols) }
+
+// NewCluster assembles a cluster on eng.
+func NewCluster(eng *Engine, cfg ClusterConfig) *Cluster { return cluster.New(eng, cfg) }
+
+// ClusterSecondary selects the colocated batch workload of a cluster
+// run.
+type ClusterSecondary = cluster.Secondary
+
+// Cluster secondary scenarios.
+const (
+	SecondaryNone = cluster.NoSecondary
+	SecondaryCPU  = cluster.CPUSecondary
+	SecondaryDisk = cluster.DiskSecondary
+)
+
+// TimelineConfig parameterizes the single-machine DES timeline (the
+// discrete-event cross-check of the Fig. 10 fluid model).
+type TimelineConfig = experiments.TimelineConfig
+
+// TimelineResult is the timeline series.
+type TimelineResult = experiments.TimelineResult
+
+// DefaultTimelineConfig runs one simulated minute under the diurnal
+// curve.
+func DefaultTimelineConfig() TimelineConfig { return experiments.DefaultTimelineConfig() }
+
+// RunTimeline executes the DES timeline experiment.
+func RunTimeline(cfg TimelineConfig) TimelineResult { return experiments.RunTimeline(cfg) }

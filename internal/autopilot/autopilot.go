@@ -1,0 +1,268 @@
+// Package autopilot models the data-center management framework PerfIso
+// deploys under (§4.2, Isard's Autopilot): a per-machine service manager
+// that starts, stops, and configures software, distributes cluster-wide
+// configuration files, keeps a registry of running services and their
+// processes, restarts crashed services, and persists small state blobs
+// so a restarted service resumes where it left off.
+//
+// PerfIso leans on three Autopilot behaviours the paper calls out:
+//
+//   - configuration is read from cluster-wide files Autopilot delivers;
+//   - the registry maps secondary-tenant services to their processes so
+//     PerfIso can wrap them in its job object;
+//   - a crashed PerfIso is brought back up and reloads its state from
+//     disk, resuming isolation seamlessly.
+package autopilot
+
+import (
+	"fmt"
+	"sort"
+
+	"perfiso/internal/sim"
+)
+
+// Service is a manageable unit of software. Implementations are the
+// PerfIso controller, tenant launchers, and test doubles.
+type Service interface {
+	// ServiceName identifies the service in the registry.
+	ServiceName() string
+	// Start launches the service. It is called again after a crash
+	// restart, with the manager's persisted state available.
+	Start(env *Env) error
+	// Stop shuts the service down cleanly.
+	Stop()
+}
+
+// Env is what a service sees of its machine environment when started:
+// the config store and its own persisted state.
+type Env struct {
+	mgr *Manager
+	svc string
+}
+
+// Config fetches a cluster configuration file by name.
+func (e *Env) Config(name string) ([]byte, bool) { return e.mgr.Config(name) }
+
+// SavedState returns the service's persisted blob from the previous
+// incarnation, if any.
+func (e *Env) SavedState() ([]byte, bool) {
+	b, ok := e.mgr.states[e.svc]
+	return b, ok
+}
+
+// SaveState persists a small blob that survives crashes and restarts
+// (the paper: "PerfIso will resume its function by loading its state
+// from disk", §4.2).
+func (e *Env) SaveState(blob []byte) {
+	e.mgr.states[e.svc] = append([]byte(nil), blob...)
+}
+
+// ServiceStatus describes one registry entry.
+type ServiceStatus int
+
+const (
+	// StatusStopped means registered but not running.
+	StatusStopped ServiceStatus = iota
+	// StatusRunning means started and healthy.
+	StatusRunning
+	// StatusCrashed means failed and awaiting its restart timer.
+	StatusCrashed
+)
+
+func (s ServiceStatus) String() string {
+	switch s {
+	case StatusStopped:
+		return "stopped"
+	case StatusRunning:
+		return "running"
+	case StatusCrashed:
+		return "crashed"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+type entry struct {
+	svc     Service
+	status  ServiceStatus
+	procs   []string // process names owned by this service
+	restart sim.Duration
+	// Restarts counts crash recoveries, for tests and reports.
+	restarts int
+}
+
+// Manager is the per-machine Autopilot agent.
+type Manager struct {
+	eng     *sim.Engine
+	configs map[string][]byte
+	states  map[string][]byte
+	entries map[string]*entry
+}
+
+// NewManager builds an empty manager on eng.
+func NewManager(eng *sim.Engine) *Manager {
+	return &Manager{
+		eng:     eng,
+		configs: map[string][]byte{},
+		states:  map[string][]byte{},
+		entries: map[string]*entry{},
+	}
+}
+
+// DistributeConfig installs (or overwrites) a cluster configuration
+// file, as the Autopilot deployment pipeline does cluster-wide.
+func (m *Manager) DistributeConfig(name string, data []byte) {
+	m.configs[name] = append([]byte(nil), data...)
+}
+
+// Config fetches a configuration file.
+func (m *Manager) Config(name string) ([]byte, bool) {
+	b, ok := m.configs[name]
+	return b, ok
+}
+
+// Register adds a service to the registry without starting it.
+// restartDelay is how long Autopilot waits before reviving a crash;
+// zero uses a 1 s default.
+func (m *Manager) Register(svc Service, restartDelay sim.Duration) error {
+	name := svc.ServiceName()
+	if _, dup := m.entries[name]; dup {
+		return fmt.Errorf("autopilot: duplicate service %q", name)
+	}
+	if restartDelay <= 0 {
+		restartDelay = 1 * sim.Second
+	}
+	m.entries[name] = &entry{svc: svc, restart: restartDelay}
+	return nil
+}
+
+// StartService starts a registered service.
+func (m *Manager) StartService(name string) error {
+	e, ok := m.entries[name]
+	if !ok {
+		return fmt.Errorf("autopilot: unknown service %q", name)
+	}
+	if e.status == StatusRunning {
+		return fmt.Errorf("autopilot: service %q already running", name)
+	}
+	if err := e.svc.Start(&Env{mgr: m, svc: name}); err != nil {
+		return fmt.Errorf("autopilot: starting %q: %w", name, err)
+	}
+	e.status = StatusRunning
+	return nil
+}
+
+// StopService stops a running service (clean shutdown, no restart).
+func (m *Manager) StopService(name string) error {
+	e, ok := m.entries[name]
+	if !ok {
+		return fmt.Errorf("autopilot: unknown service %q", name)
+	}
+	if e.status == StatusRunning {
+		e.svc.Stop()
+	}
+	e.status = StatusStopped
+	return nil
+}
+
+// Crash simulates a service failure: the service is torn down and
+// Autopilot schedules a revival after the registered restart delay. The
+// restarted incarnation sees the state it last persisted.
+func (m *Manager) Crash(name string) error {
+	e, ok := m.entries[name]
+	if !ok {
+		return fmt.Errorf("autopilot: unknown service %q", name)
+	}
+	if e.status != StatusRunning {
+		return fmt.Errorf("autopilot: crash of non-running service %q", name)
+	}
+	e.svc.Stop()
+	e.status = StatusCrashed
+	m.eng.After(e.restart, func() {
+		if e.status != StatusCrashed {
+			return // stopped or restarted by hand meanwhile
+		}
+		if err := e.svc.Start(&Env{mgr: m, svc: name}); err != nil {
+			// Keep trying: Autopilot never gives up on a service.
+			e.status = StatusCrashed
+			m.eng.After(e.restart, func() { _ = m.Crash(name) })
+			return
+		}
+		e.status = StatusRunning
+		e.restarts++
+	})
+	return nil
+}
+
+// Status reports a service's registry status.
+func (m *Manager) Status(name string) (ServiceStatus, bool) {
+	e, ok := m.entries[name]
+	if !ok {
+		return StatusStopped, false
+	}
+	return e.status, true
+}
+
+// Restarts reports how many crash recoveries a service has had.
+func (m *Manager) Restarts(name string) int {
+	if e, ok := m.entries[name]; ok {
+		return e.restarts
+	}
+	return 0
+}
+
+// Services lists registered service names, sorted.
+func (m *Manager) Services() []string {
+	out := make([]string, 0, len(m.entries))
+	for n := range m.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AttachProcess records that a process belongs to a service. PerfIso
+// uses this registry to find secondary-tenant processes instead of
+// discovering PIDs itself (§4: "Autopilot eases this task by keeping a
+// list of running services and their respective information").
+func (m *Manager) AttachProcess(service, proc string) error {
+	e, ok := m.entries[service]
+	if !ok {
+		return fmt.Errorf("autopilot: unknown service %q", service)
+	}
+	e.procs = append(e.procs, proc)
+	return nil
+}
+
+// ProcessesOf lists the process names attached to a service.
+func (m *Manager) ProcessesOf(service string) []string {
+	if e, ok := m.entries[service]; ok {
+		return append([]string(nil), e.procs...)
+	}
+	return nil
+}
+
+// ServiceFunc adapts plain start/stop functions to the Service
+// interface, for tenants and tests.
+type ServiceFunc struct {
+	Name    string
+	OnStart func(env *Env) error
+	OnStop  func()
+}
+
+// ServiceName implements Service.
+func (s *ServiceFunc) ServiceName() string { return s.Name }
+
+// Start implements Service.
+func (s *ServiceFunc) Start(env *Env) error {
+	if s.OnStart == nil {
+		return nil
+	}
+	return s.OnStart(env)
+}
+
+// Stop implements Service.
+func (s *ServiceFunc) Stop() {
+	if s.OnStop != nil {
+		s.OnStop()
+	}
+}

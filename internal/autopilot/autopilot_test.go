@@ -1,0 +1,218 @@
+package autopilot
+
+import (
+	"testing"
+
+	"perfiso/internal/sim"
+)
+
+func TestRegisterStartStop(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewManager(eng)
+	started, stopped := 0, 0
+	svc := &ServiceFunc{
+		Name:    "tenant",
+		OnStart: func(*Env) error { started++; return nil },
+		OnStop:  func() { stopped++ },
+	}
+	if err := m.Register(svc, 0); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if st, ok := m.Status("tenant"); !ok || st != StatusStopped {
+		t.Fatalf("status after register = %v, %v", st, ok)
+	}
+	if err := m.StartService("tenant"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	if st, _ := m.Status("tenant"); st != StatusRunning {
+		t.Fatalf("status after start = %v", st)
+	}
+	if err := m.StartService("tenant"); err == nil {
+		t.Fatal("double start succeeded, want error")
+	}
+	if err := m.StopService("tenant"); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if started != 1 || stopped != 1 {
+		t.Fatalf("started=%d stopped=%d, want 1/1", started, stopped)
+	}
+}
+
+func TestDuplicateRegistrationFails(t *testing.T) {
+	m := NewManager(sim.NewEngine())
+	if err := m.Register(&ServiceFunc{Name: "x"}, 0); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := m.Register(&ServiceFunc{Name: "x"}, 0); err == nil {
+		t.Fatal("duplicate register succeeded, want error")
+	}
+}
+
+func TestUnknownServiceOperationsFail(t *testing.T) {
+	m := NewManager(sim.NewEngine())
+	if err := m.StartService("ghost"); err == nil {
+		t.Error("start of unknown service succeeded")
+	}
+	if err := m.StopService("ghost"); err == nil {
+		t.Error("stop of unknown service succeeded")
+	}
+	if err := m.Crash("ghost"); err == nil {
+		t.Error("crash of unknown service succeeded")
+	}
+	if err := m.AttachProcess("ghost", "p"); err == nil {
+		t.Error("attach to unknown service succeeded")
+	}
+}
+
+func TestCrashRestartsAfterDelay(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewManager(eng)
+	starts := 0
+	svc := &ServiceFunc{
+		Name:    "perfiso",
+		OnStart: func(*Env) error { starts++; return nil },
+	}
+	if err := m.Register(svc, 2*sim.Second); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := m.StartService("perfiso"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	if err := m.Crash("perfiso"); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	if st, _ := m.Status("perfiso"); st != StatusCrashed {
+		t.Fatalf("status right after crash = %v", st)
+	}
+	eng.Run(sim.Time(1 * sim.Second))
+	if st, _ := m.Status("perfiso"); st != StatusCrashed {
+		t.Fatalf("restarted before the delay elapsed: %v", st)
+	}
+	eng.Run(sim.Time(3 * sim.Second))
+	if st, _ := m.Status("perfiso"); st != StatusRunning {
+		t.Fatalf("status after restart window = %v, want running", st)
+	}
+	if starts != 2 {
+		t.Fatalf("starts = %d, want 2", starts)
+	}
+	if m.Restarts("perfiso") != 1 {
+		t.Fatalf("restarts = %d, want 1", m.Restarts("perfiso"))
+	}
+}
+
+func TestStopCancelsPendingRestart(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewManager(eng)
+	starts := 0
+	svc := &ServiceFunc{Name: "s", OnStart: func(*Env) error { starts++; return nil }}
+	if err := m.Register(svc, 1*sim.Second); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := m.StartService("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Crash("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StopService("s"); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(sim.Time(5 * sim.Second))
+	if starts != 1 {
+		t.Fatalf("starts = %d after explicit stop, want 1 (no revival)", starts)
+	}
+	if st, _ := m.Status("s"); st != StatusStopped {
+		t.Fatalf("status = %v, want stopped", st)
+	}
+}
+
+func TestStatePersistsAcrossCrash(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewManager(eng)
+	var seen []byte
+	svc := &ServiceFunc{
+		Name: "stateful",
+		OnStart: func(env *Env) error {
+			if blob, ok := env.SavedState(); ok {
+				seen = blob
+			} else {
+				env.SaveState([]byte("generation-1"))
+			}
+			return nil
+		},
+	}
+	if err := m.Register(svc, 1*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartService("stateful"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Crash("stateful"); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(sim.Time(5 * sim.Second))
+	if string(seen) != "generation-1" {
+		t.Fatalf("restarted service saw state %q, want generation-1", seen)
+	}
+}
+
+func TestConfigDistribution(t *testing.T) {
+	m := NewManager(sim.NewEngine())
+	if _, ok := m.Config("perfiso.json"); ok {
+		t.Fatal("config present before distribution")
+	}
+	m.DistributeConfig("perfiso.json", []byte(`{"buffer_cores":8}`))
+	got, ok := m.Config("perfiso.json")
+	if !ok || string(got) != `{"buffer_cores":8}` {
+		t.Fatalf("config = %q, %v", got, ok)
+	}
+	// Distribution copies: mutating the source must not alter the store.
+	src := []byte("abc")
+	m.DistributeConfig("f", src)
+	src[0] = 'x'
+	if got, _ := m.Config("f"); string(got) != "abc" {
+		t.Fatalf("config aliased caller buffer: %q", got)
+	}
+}
+
+func TestProcessRegistry(t *testing.T) {
+	m := NewManager(sim.NewEngine())
+	if err := m.Register(&ServiceFunc{Name: "hdfs"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachProcess("hdfs", "datanode"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachProcess("hdfs", "nodemanager"); err != nil {
+		t.Fatal(err)
+	}
+	got := m.ProcessesOf("hdfs")
+	if len(got) != 2 || got[0] != "datanode" || got[1] != "nodemanager" {
+		t.Fatalf("processes = %v", got)
+	}
+	if m.ProcessesOf("ghost") != nil {
+		t.Fatal("unknown service returned processes")
+	}
+}
+
+func TestServicesSorted(t *testing.T) {
+	m := NewManager(sim.NewEngine())
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := m.Register(&ServiceFunc{Name: n}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := m.Services()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("services = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if StatusStopped.String() != "stopped" || StatusRunning.String() != "running" || StatusCrashed.String() != "crashed" {
+		t.Fatal("status strings wrong")
+	}
+}

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"perfiso/internal/sim"
+)
+
+// ProductionConfig parameterizes the Fig. 10 reproduction: a 650-machine
+// IndexServe cluster colocated with a machine-learning training job for
+// one hour of live traffic.
+//
+// Simulating 650 full nodes for an hour is out of discrete-event reach
+// (hundreds of billions of events), so this model is a fluid
+// approximation: per-machine utilization evolves in fixed steps under
+// the blind-isolation control law, and tail latency comes from a
+// surrogate calibrated against the single-machine DES (standalone P99
+// plus a penalty term that activates only when the idle buffer is
+// violated). The controller dynamics — the object of study — are the
+// same code path shape as the DES controller: grow by one core per
+// holdoff, shed the full deficit immediately.
+type ProductionConfig struct {
+	// Machines is the cluster size (650 in Fig. 10).
+	Machines int
+	// Cores per machine and BufferCores mirror the single-box setup.
+	Cores       int
+	BufferCores int
+	// Duration is the modeled wall-clock span (1 hour in Fig. 10).
+	Duration sim.Duration
+	// Step is the fluid integration step.
+	Step sim.Duration
+	// PeakQPS scales the diurnal load curve; the curve spans roughly
+	// [0.45, 1.0]·PeakQPS over the hour, as in the Fig. 10 trace.
+	PeakQPS float64
+	// QueryCPUCost is the CPU-seconds one query costs a machine
+	// (calibrated from the single-machine DES: ≈20% of 48 cores at
+	// 2,000 QPS ⇒ ≈4.8 ms).
+	QueryCPUCost float64
+	// SecondaryDemandCores bounds the ML training job's per-machine
+	// parallelism: unlike the bully micro-benchmark, a real batch job
+	// has a configured worker count and cannot absorb every grantable
+	// core. Fig. 10's ≈70% average utilization reflects this bound.
+	SecondaryDemandCores float64
+	// ChurnCores is the harvest lost to controller churn: every query
+	// burst that dips into the buffer sheds the grant, which then
+	// regrows one core per holdoff, so the achieved secondary
+	// allocation runs below the static target. Calibrated against the
+	// single-machine DES timeline (TestTimelineCrossValidatesFluidModel),
+	// which measures ≈7–8 cores of churn loss across loads.
+	ChurnCores float64
+	// P99NoiseMs is the finite-sample estimation noise of a measured
+	// 99th percentile (the wiggle visible in Fig. 10's latency series).
+	P99NoiseMs float64
+	// OSFraction is background OS load.
+	OSFraction float64
+	// StandaloneP99ms and P99PenaltyPerCore shape the latency
+	// surrogate: P99(t) = standalone + penalty·E[buffer deficit].
+	StandaloneP99ms   float64
+	P99PenaltyPerCore float64
+	// GrowHoldoff rate-limits secondary growth, as in the controller.
+	GrowHoldoff sim.Duration
+	// LoadJitter is the per-machine, per-step load imbalance (relative
+	// standard deviation of the per-machine QPS share).
+	LoadJitter float64
+	// Seed drives the jitter.
+	Seed uint64
+}
+
+// DefaultProductionConfig mirrors Fig. 10.
+func DefaultProductionConfig() ProductionConfig {
+	return ProductionConfig{
+		Machines:             650,
+		Cores:                48,
+		BufferCores:          8,
+		Duration:             1 * sim.Hour,
+		Step:                 1 * sim.Second,
+		PeakQPS:              3000,
+		QueryCPUCost:         0.0048,
+		SecondaryDemandCores: 22,
+		ChurnCores:           8,
+		P99NoiseMs:           0.25,
+		OSFraction:           0.02,
+		StandaloneP99ms:      12,
+		P99PenaltyPerCore:    0.35,
+		GrowHoldoff:          5 * sim.Millisecond,
+		LoadJitter:           0.10,
+		Seed:                 1,
+	}
+}
+
+// ProductionSample is one time-step of the Fig. 10 series.
+type ProductionSample struct {
+	At sim.Time
+	// QPS is the cluster-average per-machine query rate.
+	QPS float64
+	// P99ms is the TLA-level 99th-percentile surrogate.
+	P99ms float64
+	// CPUUsedPct is the machine-average non-idle CPU.
+	CPUUsedPct float64
+	// SecondaryPct is the machine-average CPU share of the ML job.
+	SecondaryPct float64
+}
+
+// ProductionResult is the full Fig. 10 series plus headline aggregates.
+type ProductionResult struct {
+	Samples []ProductionSample
+	// AvgCPUUsedPct is the 1-hour machine-average utilization (the
+	// paper reports ≈70%).
+	AvgCPUUsedPct float64
+	// MaxP99ms is the worst sampled tail.
+	MaxP99ms float64
+	// AvgP99ms is the mean sampled tail.
+	AvgP99ms float64
+}
+
+func (r ProductionResult) String() string {
+	return fmt.Sprintf("production: avg CPU %.1f%%, P99 avg %.1f ms / max %.1f ms over %d samples",
+		r.AvgCPUUsedPct, r.AvgP99ms, r.MaxP99ms, len(r.Samples))
+}
+
+// machineState is the fluid state of one machine.
+type machineState struct {
+	granted   float64 // S: cores granted to the secondary
+	sinceGrow sim.Duration
+}
+
+// RunProduction integrates the fluid model and returns the Fig. 10
+// series.
+func RunProduction(cfg ProductionConfig) ProductionResult {
+	if cfg.Machines <= 0 || cfg.Cores <= 0 || cfg.Step <= 0 || cfg.Duration < cfg.Step {
+		panic("cluster: invalid production config")
+	}
+	rng := sim.NewRNG(cfg.Seed ^ 0xf10d)
+	machines := make([]machineState, cfg.Machines)
+	steps := int(cfg.Duration / cfg.Step)
+	stepSec := cfg.Step.Seconds()
+	growPerStep := stepSec / cfg.GrowHoldoff.Seconds()
+
+	var out ProductionResult
+	var usedSum, p99Sum float64
+	for s := 0; s < steps; s++ {
+		at := sim.Time(s) * sim.Time(cfg.Step)
+		qps := cfg.PeakQPS * diurnal(float64(s)/float64(steps))
+
+		var usedAcc, secAcc, defAcc float64
+		for i := range machines {
+			m := &machines[i]
+			// Per-machine load share with imbalance jitter.
+			mq := qps * (1 + cfg.LoadJitter*rng.Norm(0, 1))
+			if mq < 0 {
+				mq = 0
+			}
+			primaryCores := mq * cfg.QueryCPUCost
+			osCores := cfg.OSFraction * float64(cfg.Cores)
+			// Control law: target S leaves BufferCores idle beyond the
+			// primary and OS demand.
+			target := float64(cfg.Cores) - float64(cfg.BufferCores) - primaryCores - osCores - cfg.ChurnCores
+			if cfg.SecondaryDemandCores > 0 && target > cfg.SecondaryDemandCores {
+				target = cfg.SecondaryDemandCores
+			}
+			if target < 0 {
+				target = 0
+			}
+			switch {
+			case m.granted > target:
+				// Shed the full deficit immediately (the poll interval
+				// is far below the fluid step).
+				m.granted = target
+			case m.granted < target:
+				// Grow at one core per holdoff.
+				m.granted += growPerStep
+				if m.granted > target {
+					m.granted = target
+				}
+			}
+			used := primaryCores + osCores + m.granted
+			if used > float64(cfg.Cores) {
+				used = float64(cfg.Cores)
+			}
+			idle := float64(cfg.Cores) - used
+			deficit := float64(cfg.BufferCores) - idle
+			if deficit < 0 {
+				deficit = 0
+			}
+			usedAcc += used / float64(cfg.Cores)
+			secAcc += m.granted / float64(cfg.Cores)
+			defAcc += deficit
+		}
+		n := float64(cfg.Machines)
+		// TLA P99 rides the worst machines; approximate the fan-out
+		// maximum with the mean deficit amplified by the row width
+		// (every query touches a full row, so residual deficits add up
+		// at the tail).
+		p99 := cfg.StandaloneP99ms + cfg.P99PenaltyPerCore*(defAcc/n)*math.Sqrt(n/10)
+		if cfg.P99NoiseMs > 0 {
+			p99 += math.Abs(rng.Norm(0, cfg.P99NoiseMs))
+		}
+		sample := ProductionSample{
+			At:           at,
+			QPS:          qps,
+			P99ms:        p99,
+			CPUUsedPct:   100 * usedAcc / n,
+			SecondaryPct: 100 * secAcc / n,
+		}
+		out.Samples = append(out.Samples, sample)
+		usedSum += sample.CPUUsedPct
+		p99Sum += p99
+		if p99 > out.MaxP99ms {
+			out.MaxP99ms = p99
+		}
+	}
+	out.AvgCPUUsedPct = usedSum / float64(steps)
+	out.AvgP99ms = p99Sum / float64(steps)
+	return out
+}
+
+// diurnal is the Fig. 10-style load curve over x∈[0,1): a slow swell
+// with a mid-hour peak, spanning ≈[0.45, 1.0] of peak.
+func diurnal(x float64) float64 {
+	return 0.725 + 0.275*math.Sin(2*math.Pi*(x-0.25))
+}

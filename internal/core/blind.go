@@ -1,0 +1,188 @@
+package core
+
+import (
+	"perfiso/internal/cpumodel"
+	"perfiso/internal/osmodel"
+	"perfiso/internal/sim"
+	"perfiso/internal/stats"
+)
+
+// BlindIsolation is CPU blind isolation (§3.1): it polls the idle-core
+// bitmask in a tight loop and adjusts the secondary job's affinity so
+// the machine always keeps BufferCores idle for the primary.
+//
+// With I idle cores, B buffer cores and S cores currently allocated to
+// the secondary (§3.1.2):
+//
+//	I < B  →  S shrinks by the full deficit B-I, immediately;
+//	I > B  →  S grows, at most one core per GrowHoldoff.
+//
+// The asymmetry is deliberate: giving cores back to the primary is on
+// the latency-critical path (the poll interval bounds the rescue time),
+// while handing cores to the secondary is pure throughput and can be
+// lazy. The policy is non-work-conserving — B cores are left idle on
+// purpose — which is what lets the controller observe load changes
+// before they hurt (§3.1, "non-work conserving scheduling").
+type BlindIsolation struct {
+	os  *osmodel.OS
+	job *osmodel.Job
+
+	buffer  int
+	holdoff sim.Duration
+	maxSec  int
+
+	allocated int // S: cores currently granted to the secondary
+	lastGrow  sim.Time
+	enabled   bool
+	stopped   bool
+
+	// Shrinks and Grows count affinity updates by direction; the paper
+	// separates cheap polling from on-demand updates (§4.1), so these
+	// also measure how rarely updates happen relative to polls.
+	Shrinks uint64
+	Grows   uint64
+	// Polls counts loop iterations.
+	Polls uint64
+	// AllocSeries samples S over time for Fig.10-style reporting; nil
+	// unless enabled with RecordAllocation.
+	AllocSeries *stats.TimeSeries
+
+	sampleEvery uint64
+}
+
+// NewBlindIsolation builds the isolator for a secondary job. It does not
+// start polling; call Start.
+func NewBlindIsolation(os *osmodel.OS, job *osmodel.Job, cfg Config) *BlindIsolation {
+	maxSec := cfg.MaxSecondaryCores
+	limit := os.Cores() - cfg.BufferCores
+	if limit < 0 {
+		limit = 0
+	}
+	if maxSec == 0 || maxSec > limit {
+		maxSec = limit
+	}
+	b := &BlindIsolation{
+		os:      os,
+		job:     job,
+		buffer:  cfg.BufferCores,
+		holdoff: cfg.GrowHoldoff,
+		maxSec:  maxSec,
+	}
+	return b
+}
+
+// RecordAllocation enables sampling of the secondary allocation every n
+// polls (for time-series plots).
+func (b *BlindIsolation) RecordAllocation(everyPolls uint64) {
+	b.AllocSeries = &stats.TimeSeries{}
+	b.sampleEvery = everyPolls
+}
+
+// Allocated reports S, the secondary's current core grant.
+func (b *BlindIsolation) Allocated() int { return b.allocated }
+
+// Buffer reports B.
+func (b *BlindIsolation) Buffer() int { return b.buffer }
+
+// SetBuffer changes B at runtime (PerfIso accepts limit-altering
+// commands while running, §4).
+func (b *BlindIsolation) SetBuffer(cores int) {
+	if cores < 0 {
+		cores = 0
+	}
+	b.buffer = cores
+	limit := b.os.Cores() - cores
+	if limit < 0 {
+		limit = 0
+	}
+	if b.maxSec > limit {
+		b.maxSec = limit
+	}
+}
+
+// Start begins the polling loop with the configured interval. The
+// secondary starts from zero cores and earns them as idleness is
+// observed, so a freshly-isolated machine is immediately safe.
+func (b *BlindIsolation) Start(poll sim.Duration) {
+	b.enabled = true
+	b.stopped = false
+	b.apply(0)
+	b.os.Engine().Ticker(poll, func() bool {
+		if b.stopped {
+			return false
+		}
+		b.Poll()
+		return true
+	})
+}
+
+// Stop ends the polling loop permanently (service shutdown).
+func (b *BlindIsolation) Stop() { b.stopped = true }
+
+// Disable is the kill switch (§4.2): the secondary is released to the
+// full machine and the loop idles until Enable. Production debugging
+// uses this to rule PerfIso out as a cause in one step.
+func (b *BlindIsolation) Disable() {
+	b.enabled = false
+	b.job.SetAffinity(cpumodel.AllCores(b.os.Cores()))
+}
+
+// Enable re-engages isolation after a Disable, starting again from a
+// zero grant.
+func (b *BlindIsolation) Enable() {
+	b.enabled = true
+	b.apply(0)
+}
+
+// Enabled reports whether isolation is active.
+func (b *BlindIsolation) Enabled() bool { return b.enabled }
+
+// Poll performs one loop iteration: read the idle mask, compare against
+// the buffer target, update the affinity only if needed (§4.1 separates
+// polling from updating).
+func (b *BlindIsolation) Poll() {
+	b.Polls++
+	if !b.enabled {
+		return
+	}
+	idle := b.os.IdleCores()
+	switch {
+	case idle < b.buffer:
+		// The primary has eaten into the buffer: shed the full deficit
+		// at once. The poll interval is the rescue latency.
+		b.apply(b.allocated - (b.buffer - idle))
+	case idle > b.buffer:
+		// Spare idleness beyond the buffer: hand one core over, rate
+		// limited by the holdoff.
+		now := b.os.Now()
+		if b.allocated < b.maxSec && (b.lastGrow == 0 || now.Sub(b.lastGrow) >= b.holdoff) {
+			b.apply(b.allocated + 1)
+			b.lastGrow = now
+		}
+	}
+	if b.AllocSeries != nil && b.sampleEvery > 0 && b.Polls%b.sampleEvery == 0 {
+		b.AllocSeries.Add(b.os.Now(), float64(b.allocated))
+	}
+}
+
+// apply clamps and installs a new secondary grant. The secondary is
+// packed onto the highest-numbered cores so that the primary's ideal-
+// core placement (spreading from low ids) meets it last.
+func (b *BlindIsolation) apply(cores int) {
+	if cores < 0 {
+		cores = 0
+	}
+	if cores > b.maxSec {
+		cores = b.maxSec
+	}
+	if cores == b.allocated && b.Polls > 0 {
+		return
+	}
+	if cores < b.allocated {
+		b.Shrinks++
+	} else if cores > b.allocated {
+		b.Grows++
+	}
+	b.allocated = cores
+	b.job.SetAffinity(cpumodel.TopCores(b.os.Cores(), cores))
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perfiso/internal/cpumodel"
+	"perfiso/internal/sim"
+)
+
+func newBlindFixture(t *testing.T, buffer int) (*testNode, *BlindIsolation, *cpumodel.Process) {
+	t.Helper()
+	n := newTestNode(t)
+	job := n.os.CreateJob("secondary")
+	bully := n.startBully(48)
+	job.Assign(bully.Proc)
+	cfg := DefaultConfig()
+	cfg.BufferCores = buffer
+	b := NewBlindIsolation(n.os, job, cfg)
+	b.Start(cfg.PollInterval)
+	return n, b, bully.Proc
+}
+
+func TestBlindStartsFromZeroGrant(t *testing.T) {
+	n, b, _ := newBlindFixture(t, 8)
+	// Immediately after Start, before any polls observe idleness, the
+	// secondary must own nothing: a freshly isolated machine is safe.
+	if got := b.Allocated(); got != 0 {
+		t.Fatalf("initial allocation = %d, want 0", got)
+	}
+	if got := b.job.Affinity().Count(); got != 0 {
+		t.Fatalf("initial job affinity = %d cores, want 0", got)
+	}
+	_ = n
+}
+
+func TestBlindGrowsToCoresMinusBuffer(t *testing.T) {
+	n, b, _ := newBlindFixture(t, 8)
+	n.runFor(2 * sim.Second)
+	if got, want := b.Allocated(), 40; got != want {
+		t.Fatalf("steady-state allocation = %d, want %d", got, want)
+	}
+	if idle := n.os.IdleCores(); idle != 8 {
+		t.Fatalf("idle cores = %d, want exactly the buffer (8)", idle)
+	}
+	n.cpu.CheckInvariants()
+}
+
+func TestBlindGrowRateLimitedByHoldoff(t *testing.T) {
+	n := newTestNode(t)
+	job := n.os.CreateJob("secondary")
+	bully := n.startBully(48)
+	job.Assign(bully.Proc)
+	cfg := DefaultConfig()
+	cfg.BufferCores = 8
+	cfg.GrowHoldoff = 10 * sim.Millisecond
+	b := NewBlindIsolation(n.os, job, cfg)
+	b.Start(cfg.PollInterval)
+	// After 100 ms with a 10 ms holdoff, at most ~10 grows can have
+	// happened (plus the initial apply).
+	n.runFor(100 * sim.Millisecond)
+	if got := b.Allocated(); got > 11 {
+		t.Fatalf("allocation after 100ms = %d; grow rate exceeds 1 core/10ms", got)
+	}
+	if got := b.Allocated(); got < 8 {
+		t.Fatalf("allocation after 100ms = %d; grows are being lost", got)
+	}
+}
+
+func TestBlindShrinksImmediatelyOnBurst(t *testing.T) {
+	n, b, _ := newBlindFixture(t, 8)
+	primary := n.newPrimary("indexserve")
+	n.runFor(2 * sim.Second)
+	if b.Allocated() != 40 {
+		t.Fatalf("precondition: allocation = %d, want 40", b.Allocated())
+	}
+
+	// Wake 16 primary threads: they eat the 8 buffer cores and queue.
+	// Within a few polls the governor must shed cores to restore B.
+	n.spawnPrimaryBurst(primary, 16, 200*sim.Millisecond)
+	n.runFor(5 * sim.Millisecond) // 50 polls at the 100µs default
+	if got := b.Allocated(); got > 34 {
+		t.Fatalf("allocation = %d a few polls after a 16-thread burst; shrink too slow", got)
+	}
+	if b.Shrinks == 0 {
+		t.Fatal("no shrinks recorded")
+	}
+	n.cpu.CheckInvariants()
+}
+
+func TestBlindRecoversAfterBurstEnds(t *testing.T) {
+	n, b, _ := newBlindFixture(t, 8)
+	primary := n.newPrimary("indexserve")
+	n.runFor(1 * sim.Second)
+	n.spawnPrimaryBurst(primary, 20, 50*sim.Millisecond)
+	n.runFor(100 * sim.Millisecond)
+	low := b.Allocated()
+	// Primary work done: the governor should re-grow to 40.
+	n.runFor(2 * sim.Second)
+	if got := b.Allocated(); got != 40 {
+		t.Fatalf("allocation = %d after burst ended, want 40 (was %d during burst)", got, low)
+	}
+}
+
+func TestBlindSheddingFullDeficitAtOnce(t *testing.T) {
+	n, b, _ := newBlindFixture(t, 8)
+	primary := n.newPrimary("indexserve")
+	n.runFor(2 * sim.Second)
+	before := b.Allocated()
+	shrinksBefore := b.Shrinks
+
+	// A 24-thread wakeup leaves idle = 0 on the next poll (16 waiters
+	// beyond the buffer): the deficit B - I = 8 must be shed in ONE
+	// update, not 8 separate single-core steps.
+	n.spawnPrimaryBurst(primary, 24, 300*sim.Millisecond)
+	n.runFor(300 * sim.Microsecond) // ~3 polls
+	dropped := before - b.Allocated()
+	newShrinks := b.Shrinks - shrinksBefore
+	if dropped < 6 {
+		t.Fatalf("only %d cores shed shortly after the burst; want >= 6", dropped)
+	}
+	if newShrinks > 4 {
+		t.Fatalf("%d shrink updates for a single burst; deficit should be shed in few updates", newShrinks)
+	}
+}
+
+func TestBlindDisableReleasesEverything(t *testing.T) {
+	n, b, _ := newBlindFixture(t, 8)
+	n.runFor(1 * sim.Second)
+	b.Disable()
+	if b.Enabled() {
+		t.Fatal("Enabled() true after Disable")
+	}
+	n.runFor(1 * sim.Second)
+	if got := b.job.Affinity().Count(); got != 48 {
+		t.Fatalf("job affinity = %d cores under kill switch, want 48", got)
+	}
+	if idle := n.os.IdleCores(); idle != 0 {
+		t.Fatalf("idle cores = %d under kill switch with a 48-thread bully, want 0", idle)
+	}
+}
+
+func TestBlindEnableRestartsFromZero(t *testing.T) {
+	n, b, _ := newBlindFixture(t, 8)
+	n.runFor(1 * sim.Second)
+	b.Disable()
+	n.runFor(100 * sim.Millisecond)
+	b.Enable()
+	if got := b.Allocated(); got != 0 {
+		t.Fatalf("allocation immediately after Enable = %d, want 0", got)
+	}
+	n.runFor(2 * sim.Second)
+	if got := b.Allocated(); got != 40 {
+		t.Fatalf("allocation after re-enable settling = %d, want 40", got)
+	}
+}
+
+func TestBlindSetBufferTakesEffect(t *testing.T) {
+	n, b, _ := newBlindFixture(t, 8)
+	n.runFor(2 * sim.Second)
+	b.SetBuffer(16)
+	n.runFor(2 * sim.Second)
+	if got := b.Allocated(); got != 32 {
+		t.Fatalf("allocation = %d after SetBuffer(16), want 32", got)
+	}
+	if idle := n.os.IdleCores(); idle != 16 {
+		t.Fatalf("idle = %d after SetBuffer(16), want 16", idle)
+	}
+}
+
+func TestBlindMaxSecondaryCoresCap(t *testing.T) {
+	n := newTestNode(t)
+	job := n.os.CreateJob("secondary")
+	bully := n.startBully(48)
+	job.Assign(bully.Proc)
+	cfg := DefaultConfig()
+	cfg.BufferCores = 8
+	cfg.MaxSecondaryCores = 10
+	b := NewBlindIsolation(n.os, job, cfg)
+	b.Start(cfg.PollInterval)
+	n.runFor(2 * sim.Second)
+	if got := b.Allocated(); got != 10 {
+		t.Fatalf("allocation = %d with a cap of 10, want 10", got)
+	}
+}
+
+func TestBlindPollsCheapUpdatesRare(t *testing.T) {
+	// §4.1: polling runs in a tight loop but updates happen on demand.
+	// In steady state the update count must be a tiny fraction of polls.
+	n, b, _ := newBlindFixture(t, 8)
+	n.runFor(5 * sim.Second)
+	updates := b.Shrinks + b.Grows
+	if b.Polls < 10000 {
+		t.Fatalf("polls = %d over 5s at 100µs, want tens of thousands", b.Polls)
+	}
+	if frac := float64(updates) / float64(b.Polls); frac > 0.01 {
+		t.Fatalf("updates/polls = %.4f; updates should be rare in steady state", frac)
+	}
+}
+
+func TestBlindAllocationSeries(t *testing.T) {
+	n := newTestNode(t)
+	job := n.os.CreateJob("secondary")
+	bully := n.startBully(48)
+	job.Assign(bully.Proc)
+	cfg := DefaultConfig()
+	b := NewBlindIsolation(n.os, job, cfg)
+	b.RecordAllocation(100)
+	b.Start(cfg.PollInterval)
+	n.runFor(1 * sim.Second)
+	if b.AllocSeries.Len() == 0 {
+		t.Fatal("no allocation samples recorded")
+	}
+	if b.AllocSeries.Max() > 40 {
+		t.Fatalf("allocation series max = %.0f, beyond cores-buffer", b.AllocSeries.Max())
+	}
+}
+
+func TestBlindSecondaryPackedOnTopCores(t *testing.T) {
+	n, b, _ := newBlindFixture(t, 8)
+	n.runFor(2 * sim.Second)
+	aff := b.job.Affinity()
+	// S=40 on 48 cores packed high: cores 8..47.
+	for c := 0; c < 8; c++ {
+		if aff.Has(c) {
+			t.Fatalf("secondary granted low core %d; mask %v", c, aff)
+		}
+	}
+	for c := 8; c < 48; c++ {
+		if !aff.Has(c) {
+			t.Fatalf("secondary missing core %d; mask %v", c, aff)
+		}
+	}
+}
+
+// TestBlindControlLawProperty drives the governor with arbitrary
+// idle-core observations and checks the §3.1.2 control law directly:
+// I < B never grows S, I > B never shrinks S, and S stays in
+// [0, cores-B].
+func TestBlindControlLawProperty(t *testing.T) {
+	check := func(seed uint64, buffer uint8, steps uint8) bool {
+		b := int(buffer%16) + 1
+		n := newTestNode(t)
+		job := n.os.CreateJob("secondary")
+		bully := n.startBully(48)
+		job.Assign(bully.Proc)
+		primary := n.newPrimary("indexserve")
+		cfg := DefaultConfig()
+		cfg.BufferCores = b
+		gov := NewBlindIsolation(n.os, job, cfg)
+		gov.Start(cfg.PollInterval)
+		rng := sim.NewRNG(seed)
+		for i := 0; i < int(steps%40)+5; i++ {
+			// Random primary activity between settle periods.
+			k := rng.Intn(30)
+			n.spawnPrimaryBurst(primary, k, sim.Duration(rng.IntBetween(1, 40))*sim.Millisecond)
+			before := gov.Allocated()
+			idleBefore := n.os.IdleCores()
+			gov.Poll()
+			after := gov.Allocated()
+			switch {
+			case idleBefore < b && after > before:
+				t.Logf("grew with idle(%d) < buffer(%d)", idleBefore, b)
+				return false
+			case idleBefore > b && after < before:
+				t.Logf("shrank with idle(%d) > buffer(%d)", idleBefore, b)
+				return false
+			case idleBefore == b && after != before:
+				t.Logf("changed S with idle == buffer")
+				return false
+			}
+			if after < 0 || after > 48-b {
+				t.Logf("S=%d outside [0,%d]", after, 48-b)
+				return false
+			}
+			n.runFor(sim.Duration(rng.IntBetween(1, 20)) * sim.Millisecond)
+		}
+		n.cpu.CheckInvariants()
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package core implements PerfIso itself — the paper's contribution: a
+// user-mode performance-isolation service that lets batch jobs harvest
+// idle resources without degrading the tail latency of a colocated
+// latency-sensitive primary (§3, §4).
+//
+// The centerpiece is CPU blind isolation: a non-work-conserving
+// controller that polls the OS idle-core bitmask in a tight loop and
+// dynamically restricts the secondary tenant's CPU affinity so that the
+// primary always has a buffer of idle cores available to absorb its
+// microsecond-scale thread-wakeup bursts (§3.1). The secondary's other
+// resources are governed by a DWRR I/O throttler (§4.1), a memory guard
+// with kill-on-pressure (§3.2), and egress-network deprioritization.
+//
+// Everything the controller consumes is read through the osmodel
+// black-box monitoring surface; nothing reaches into the primary or the
+// scheduler, matching the paper's deployment constraints (§2.2).
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"perfiso/internal/sim"
+)
+
+// Config is PerfIso's cluster-wide configuration, distributed through
+// Autopilot as a JSON file (§4). All static limits live here; dynamic
+// limits are derived from it at runtime and may be altered by issuing
+// commands to a running controller.
+type Config struct {
+	// BufferCores is B of §3.1.2: the number of idle logical cores the
+	// controller keeps free for the primary to absorb bursts. The value
+	// comes from a one-off offline profiling of the primary under peak
+	// load; 8 is the published IndexServe figure (§4.1, §6.1.3).
+	BufferCores int `json:"buffer_cores"`
+
+	// PollInterval is the cadence of the tight utilization-polling loop
+	// (§4.1). Polling is cheap (one bitmask read); updates happen only
+	// on demand when the measurement calls for a change.
+	PollInterval sim.Duration `json:"poll_interval_ns"`
+
+	// GrowHoldoff rate-limits handing cores back to the secondary. The
+	// controller sheds secondary cores immediately when the idle buffer
+	// dips below B, but grows the secondary's set at most one core per
+	// holdoff — the asymmetry that keeps the system safe under rising
+	// load yet work-proportional when load falls.
+	GrowHoldoff sim.Duration `json:"grow_holdoff_ns"`
+
+	// MaxSecondaryCores caps the secondary's core count regardless of
+	// idleness. Zero means cores-BufferCores (no additional cap).
+	MaxSecondaryCores int `json:"max_secondary_cores"`
+
+	// SecondaryMemoryLimit caps the secondary job's summed working set;
+	// the memory guard kills the job beyond it (§3.2). Zero disables.
+	SecondaryMemoryLimit int64 `json:"secondary_memory_limit_bytes"`
+	// SystemMemoryReserve kills the secondary when free system memory
+	// falls below this floor ("when memory runs very low, secondary
+	// processes are killed", §3.2). Zero disables.
+	SystemMemoryReserve int64 `json:"system_memory_reserve_bytes"`
+	// MemoryPollInterval is the memory guard cadence.
+	MemoryPollInterval sim.Duration `json:"memory_poll_interval_ns"`
+
+	// EgressLowPriorityRate caps secondary outbound bandwidth in
+	// bytes/second; secondary traffic is additionally marked
+	// low-priority at the NIC (§3.2). Zero disables the cap (traffic is
+	// still deprioritized).
+	EgressLowPriorityRate float64 `json:"egress_low_priority_rate_bps"`
+
+	// IO configures the per-volume DWRR throttler (§4.1).
+	IO []IOVolumeConfig `json:"io"`
+}
+
+// IOVolumeConfig is the DWRR throttling policy for one volume.
+type IOVolumeConfig struct {
+	// Volume names the disk volume (e.g. "hdd").
+	Volume string `json:"volume"`
+	// PollInterval is the IOPS sampling cadence; the paper uses a
+	// moving average over recent samples.
+	PollInterval sim.Duration `json:"poll_interval_ns"`
+	// Window is ∆ of the demand formula: how many samples the moving
+	// average covers.
+	Window int `json:"window"`
+	// Procs lists the throttled processes with their weights and
+	// limits. Processes not listed are never touched (the primary is
+	// never throttled).
+	Procs []IOProcConfig `json:"procs"`
+}
+
+// IOProcConfig is one process's DWRR parameters.
+type IOProcConfig struct {
+	// Proc is the process name as seen in volume statistics.
+	Proc string `json:"proc"`
+	// Weight sets the process's DWRR share; higher weight, larger
+	// share ("the higher the priority, the larger the weight", §4.1).
+	Weight float64 `json:"weight"`
+	// MinIOPS is lim_i: the minimum IOPS the process is guaranteed
+	// before deficit-based demotion kicks in.
+	MinIOPS float64 `json:"min_iops"`
+	// BytesPerSec and OpsPerSec are static rate caps applied on top of
+	// DWRR (the cluster experiments cap HDFS replication at 20 MB/s and
+	// clients at 60 MB/s, §5.3). Zero disables each.
+	BytesPerSec float64 `json:"bytes_per_sec"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+// DefaultConfig returns the production defaults used throughout the
+// evaluation: 8 buffer cores, a 100 µs polling loop, and a 1 ms grow
+// holdoff. The holdoff is short relative to query bursts (which shrink
+// the grant thousands of times per second) so the secondary's average
+// allocation stays high between bursts; safety comes from the buffer,
+// not from growing slowly.
+func DefaultConfig() Config {
+	return Config{
+		BufferCores:        8,
+		PollInterval:       100 * sim.Microsecond,
+		GrowHoldoff:        1 * sim.Millisecond,
+		MemoryPollInterval: 100 * sim.Millisecond,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	if c.BufferCores < 0 {
+		return fmt.Errorf("core: negative buffer cores %d", c.BufferCores)
+	}
+	if c.PollInterval <= 0 {
+		return fmt.Errorf("core: non-positive poll interval %v", c.PollInterval)
+	}
+	if c.GrowHoldoff < 0 {
+		return fmt.Errorf("core: negative grow holdoff %v", c.GrowHoldoff)
+	}
+	if c.MaxSecondaryCores < 0 {
+		return fmt.Errorf("core: negative secondary core cap %d", c.MaxSecondaryCores)
+	}
+	if c.SecondaryMemoryLimit < 0 || c.SystemMemoryReserve < 0 {
+		return fmt.Errorf("core: negative memory limit")
+	}
+	if (c.SecondaryMemoryLimit > 0 || c.SystemMemoryReserve > 0) && c.MemoryPollInterval <= 0 {
+		return fmt.Errorf("core: memory guard enabled with non-positive poll interval")
+	}
+	if c.EgressLowPriorityRate < 0 {
+		return fmt.Errorf("core: negative egress rate")
+	}
+	for _, v := range c.IO {
+		if v.Volume == "" {
+			return fmt.Errorf("core: IO policy with empty volume name")
+		}
+		if v.PollInterval <= 0 {
+			return fmt.Errorf("core: volume %q has non-positive poll interval", v.Volume)
+		}
+		if v.Window <= 0 {
+			return fmt.Errorf("core: volume %q has non-positive window", v.Volume)
+		}
+		for _, p := range v.Procs {
+			if p.Proc == "" {
+				return fmt.Errorf("core: volume %q throttles a process with empty name", v.Volume)
+			}
+			if p.Weight <= 0 {
+				return fmt.Errorf("core: volume %q process %q has non-positive weight", v.Volume, p.Proc)
+			}
+			if p.MinIOPS < 0 || p.BytesPerSec < 0 || p.OpsPerSec < 0 {
+				return fmt.Errorf("core: volume %q process %q has negative limit", v.Volume, p.Proc)
+			}
+		}
+	}
+	return nil
+}
+
+// Marshal encodes the configuration as the JSON document Autopilot
+// distributes cluster-wide.
+func (c Config) Marshal() ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// ParseConfig decodes and validates a cluster configuration file.
+func ParseConfig(data []byte) (Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Config{}, fmt.Errorf("core: parsing config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

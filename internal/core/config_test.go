@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"perfiso/internal/sim"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigValidateRejections(t *testing.T) {
+	mk := func(mut func(*Config)) Config {
+		c := validTestConfig()
+		mut(&c)
+		return c
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"negative buffer", mk(func(c *Config) { c.BufferCores = -1 }), "buffer"},
+		{"zero poll", mk(func(c *Config) { c.PollInterval = 0 }), "poll"},
+		{"negative holdoff", mk(func(c *Config) { c.GrowHoldoff = -1 }), "holdoff"},
+		{"negative core cap", mk(func(c *Config) { c.MaxSecondaryCores = -2 }), "cap"},
+		{"negative mem", mk(func(c *Config) { c.SecondaryMemoryLimit = -1 }), "memory"},
+		{"mem guard no poll", mk(func(c *Config) { c.MemoryPollInterval = 0 }), "memory guard"},
+		{"negative egress", mk(func(c *Config) { c.EgressLowPriorityRate = -1 }), "egress"},
+		{"empty volume", mk(func(c *Config) { c.IO[0].Volume = "" }), "volume"},
+		{"zero io poll", mk(func(c *Config) { c.IO[0].PollInterval = 0 }), "poll"},
+		{"zero window", mk(func(c *Config) { c.IO[0].Window = 0 }), "window"},
+		{"empty proc", mk(func(c *Config) { c.IO[0].Procs[0].Proc = "" }), "empty name"},
+		{"zero weight", mk(func(c *Config) { c.IO[0].Procs[0].Weight = 0 }), "weight"},
+		{"negative limit", mk(func(c *Config) { c.IO[0].Procs[1].MinIOPS = -1 }), "negative limit"},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate passed, want error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	cfg := validTestConfig()
+	data, err := cfg.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := ParseConfig(data)
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	if back.BufferCores != cfg.BufferCores ||
+		back.PollInterval != cfg.PollInterval ||
+		back.GrowHoldoff != cfg.GrowHoldoff ||
+		back.SecondaryMemoryLimit != cfg.SecondaryMemoryLimit ||
+		back.EgressLowPriorityRate != cfg.EgressLowPriorityRate {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, cfg)
+	}
+	if len(back.IO) != 1 || len(back.IO[0].Procs) != 2 {
+		t.Fatalf("IO policy lost in round trip: %+v", back.IO)
+	}
+	if back.IO[0].Procs[0].BytesPerSec != 60<<20 {
+		t.Fatalf("IO proc cap lost: %+v", back.IO[0].Procs[0])
+	}
+}
+
+func TestMarshalRejectsInvalid(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BufferCores = -3
+	if _, err := cfg.Marshal(); err == nil {
+		t.Fatal("Marshal of invalid config succeeded")
+	}
+}
+
+func TestParseConfigRejects(t *testing.T) {
+	if _, err := ParseConfig([]byte(`{"poll_interval_ns": 0}`)); err == nil {
+		t.Fatal("config with zero poll interval parsed")
+	}
+	if _, err := ParseConfig([]byte(`{{`)); err == nil {
+		t.Fatal("malformed JSON parsed")
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.BufferCores != 8 {
+		t.Errorf("default buffer = %d, want the published 8 (§6.1.3)", cfg.BufferCores)
+	}
+	if cfg.PollInterval != 100*sim.Microsecond {
+		t.Errorf("default poll = %v, want 100µs", cfg.PollInterval)
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"perfiso/internal/cpumodel"
+	"perfiso/internal/osmodel"
+)
+
+// Controller is the PerfIso user-mode service (§4): it wraps the
+// secondary tenants in a Job Object, runs CPU blind isolation, the DWRR
+// I/O throttler, the memory guard, and the egress throttle, and accepts
+// runtime commands that alter limits. It is fully recoverable — all
+// parameters live in the cluster configuration plus a small persisted
+// state blob, so a crash-restart resumes seamlessly (§4.2).
+type Controller struct {
+	os  *osmodel.OS
+	cfg Config
+
+	// Secondary is the job object every secondary-tenant process is
+	// placed in.
+	Secondary *osmodel.Job
+	// Blind is the CPU governor.
+	Blind *BlindIsolation
+	// IO holds one throttler per configured volume.
+	IO []*IOThrottler
+	// Memory is the kill-on-pressure guard.
+	Memory *MemoryGuard
+
+	started  bool
+	disabled bool
+}
+
+// secondaryJobName is the well-known job object PerfIso manages.
+const secondaryJobName = "perfiso-secondary"
+
+// NewController validates cfg and assembles a controller over the OS
+// facade. Nothing is polled until Start.
+func NewController(os *osmodel.OS, cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BufferCores >= os.Cores() {
+		return nil, fmt.Errorf("core: %d buffer cores on a %d-core machine leaves nothing to harvest",
+			cfg.BufferCores, os.Cores())
+	}
+	c := &Controller{os: os, cfg: cfg}
+	job := os.Job(secondaryJobName)
+	if job == nil {
+		job = os.CreateJob(secondaryJobName)
+	}
+	c.Secondary = job
+	c.Blind = NewBlindIsolation(os, job, cfg)
+	for _, vc := range cfg.IO {
+		c.IO = append(c.IO, NewIOThrottler(os, vc))
+	}
+	c.Memory = NewMemoryGuard(os, job, cfg)
+	return c, nil
+}
+
+// Config returns the active configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// ManageSecondary places a process under PerfIso's control. Autopilot
+// keeps the list of running services, so in production this is driven
+// from its service registry (§4); tests and examples call it directly.
+func (c *Controller) ManageSecondary(p *cpumodel.Process) {
+	c.Secondary.Assign(p)
+}
+
+// Start engages every governor. Starting twice panics: the pollers
+// would double up and fight each other.
+func (c *Controller) Start() {
+	if c.started {
+		panic("core: controller started twice")
+	}
+	c.started = true
+	c.Blind.Start(c.cfg.PollInterval)
+	for _, t := range c.IO {
+		t.Start()
+	}
+	c.Memory.Start(c.cfg.MemoryPollInterval)
+	if c.os.NIC != nil {
+		c.os.SetEgressRate(c.cfg.EgressLowPriorityRate)
+	}
+}
+
+// Stop shuts every governor down (service stop, not kill switch).
+func (c *Controller) Stop() {
+	c.Blind.Stop()
+	for _, t := range c.IO {
+		t.Stop()
+	}
+	c.Memory.Stop()
+}
+
+// Disable is the kill switch (§4.2): all dynamic restrictions are
+// lifted at once so PerfIso can be excluded as a cause during a
+// production incident. The pollers keep running but take no action.
+func (c *Controller) Disable() {
+	c.disabled = true
+	c.Blind.Disable()
+	c.Secondary.SetCycleCap(0, 0)
+	if c.os.NIC != nil {
+		c.os.SetEgressRate(0)
+	}
+}
+
+// Enable reverses Disable.
+func (c *Controller) Enable() {
+	c.disabled = false
+	c.Blind.Enable()
+	if c.os.NIC != nil {
+		c.os.SetEgressRate(c.cfg.EgressLowPriorityRate)
+	}
+}
+
+// Disabled reports whether the kill switch is thrown.
+func (c *Controller) Disabled() bool { return c.disabled }
+
+// Command is a runtime limit-altering request (§4: "resource limits can
+// be altered independently at runtime by issuing a command").
+type Command struct {
+	// Op selects the knob: "set-buffer", "set-memory-limit",
+	// "set-egress-rate", "set-io-rate", "disable", "enable".
+	Op string `json:"op"`
+	// Value carries the numeric operand where one is needed.
+	Value float64 `json:"value,omitempty"`
+	// Volume and Proc scope "set-io-rate".
+	Volume string `json:"volume,omitempty"`
+	Proc   string `json:"proc,omitempty"`
+	// OpsPerSec carries the second operand of "set-io-rate".
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+}
+
+// Apply executes a runtime command against the live controller.
+func (c *Controller) Apply(cmd Command) error {
+	switch cmd.Op {
+	case "set-buffer":
+		n := int(cmd.Value)
+		if n < 0 || n >= c.os.Cores() {
+			return fmt.Errorf("core: buffer %d out of range [0,%d)", n, c.os.Cores())
+		}
+		c.cfg.BufferCores = n
+		c.Blind.SetBuffer(n)
+	case "set-memory-limit":
+		if cmd.Value < 0 {
+			return fmt.Errorf("core: negative memory limit")
+		}
+		c.cfg.SecondaryMemoryLimit = int64(cmd.Value)
+		c.Memory.SetLimit(int64(cmd.Value))
+	case "set-egress-rate":
+		if cmd.Value < 0 {
+			return fmt.Errorf("core: negative egress rate")
+		}
+		c.cfg.EgressLowPriorityRate = cmd.Value
+		if !c.disabled && c.os.NIC != nil {
+			c.os.SetEgressRate(cmd.Value)
+		}
+	case "set-io-rate":
+		return c.os.SetIORate(cmd.Volume, cmd.Proc, cmd.Value, cmd.OpsPerSec)
+	case "disable":
+		c.Disable()
+	case "enable":
+		c.Enable()
+	default:
+		return fmt.Errorf("core: unknown command %q", cmd.Op)
+	}
+	return nil
+}
+
+// ApplyJSON decodes and executes one JSON-encoded command — the wire
+// format of the local debugging client application (§4).
+func (c *Controller) ApplyJSON(data []byte) error {
+	var cmd Command
+	if err := json.Unmarshal(data, &cmd); err != nil {
+		return fmt.Errorf("core: decoding command: %w", err)
+	}
+	return c.Apply(cmd)
+}
+
+// State is the controller's persisted snapshot. Everything else is
+// derived from the cluster configuration, which Autopilot re-delivers
+// after a crash (§4.2), so the blob stays tiny.
+type State struct {
+	Config   Config `json:"config"`
+	Disabled bool   `json:"disabled"`
+}
+
+// SaveState serializes the recoverable state.
+func (c *Controller) SaveState() ([]byte, error) {
+	return json.Marshal(State{Config: c.cfg, Disabled: c.disabled})
+}
+
+// RestoreController rebuilds a controller from a persisted state blob —
+// the crash-recovery path: Autopilot restarts the service and it
+// resumes from the state saved on disk (§4.2).
+func RestoreController(os *osmodel.OS, data []byte) (*Controller, error) {
+	var st State
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("core: decoding state: %w", err)
+	}
+	c, err := NewController(os, st.Config)
+	if err != nil {
+		return nil, err
+	}
+	if st.Disabled {
+		c.disabled = true
+		c.Blind.Disable()
+	}
+	return c, nil
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"perfiso/internal/cpumodel"
+	"perfiso/internal/sim"
+	"perfiso/internal/workload"
+)
+
+func validTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SecondaryMemoryLimit = 8 << 30
+	cfg.EgressLowPriorityRate = 50 << 20
+	cfg.IO = []IOVolumeConfig{{
+		Volume:       "hdd",
+		PollInterval: 100 * sim.Millisecond,
+		Window:       5,
+		Procs: []IOProcConfig{
+			{Proc: "hdfs-client", Weight: 2, MinIOPS: 50, BytesPerSec: 60 << 20},
+			{Proc: "hdfs-replication", Weight: 1, MinIOPS: 20, BytesPerSec: 20 << 20},
+		},
+	}}
+	return cfg
+}
+
+func TestNewControllerAssemblesGovernors(t *testing.T) {
+	n := newTestNode(t)
+	c, err := NewController(n.os, validTestConfig())
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	if c.Blind == nil || c.Memory == nil || c.Secondary == nil {
+		t.Fatal("controller missing governors")
+	}
+	if len(c.IO) != 1 || c.IO[0].Volume() != "hdd" {
+		t.Fatalf("IO throttlers = %v", c.IO)
+	}
+	if n.os.Job("perfiso-secondary") == nil {
+		t.Fatal("secondary job not registered with the OS")
+	}
+}
+
+func TestNewControllerRejectsBadConfig(t *testing.T) {
+	n := newTestNode(t)
+	bad := DefaultConfig()
+	bad.PollInterval = 0
+	if _, err := NewController(n.os, bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	huge := DefaultConfig()
+	huge.BufferCores = 48
+	if _, err := NewController(n.os, huge); err == nil {
+		t.Fatal("buffer == cores accepted")
+	}
+}
+
+func TestNewControllerReusesExistingJob(t *testing.T) {
+	n := newTestNode(t)
+	if _, err := NewController(n.os, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	// Second construction (crash recovery path) must not panic on the
+	// duplicate job name.
+	if _, err := NewController(n.os, DefaultConfig()); err != nil {
+		t.Fatalf("second NewController: %v", err)
+	}
+}
+
+func TestControllerEndToEndProtectsBuffer(t *testing.T) {
+	n := newTestNode(t)
+	c, err := NewController(n.os, validTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bully := n.startBully(48)
+	c.ManageSecondary(bully.Proc)
+	c.Start()
+	n.runFor(2 * sim.Second)
+	if idle := n.os.IdleCores(); idle != 8 {
+		t.Fatalf("idle cores = %d under started controller, want 8", idle)
+	}
+	if bully.Progress() == 0 {
+		t.Fatal("secondary made no progress under isolation")
+	}
+}
+
+func TestControllerDoubleStartPanics(t *testing.T) {
+	n := newTestNode(t)
+	c, err := NewController(n.os, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Start did not panic")
+		}
+	}()
+	c.Start()
+}
+
+func TestKillSwitch(t *testing.T) {
+	n := newTestNode(t)
+	c, err := NewController(n.os, validTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bully := n.startBully(48)
+	c.ManageSecondary(bully.Proc)
+	c.Start()
+	n.runFor(1 * sim.Second)
+
+	c.Disable()
+	if !c.Disabled() {
+		t.Fatal("Disabled() false after Disable")
+	}
+	n.runFor(1 * sim.Second)
+	if idle := n.os.IdleCores(); idle != 0 {
+		t.Fatalf("idle = %d with kill switch thrown, want 0 (fully released)", idle)
+	}
+
+	c.Enable()
+	n.runFor(2 * sim.Second)
+	if idle := n.os.IdleCores(); idle != 8 {
+		t.Fatalf("idle = %d after re-enable, want 8", idle)
+	}
+}
+
+func TestApplyCommands(t *testing.T) {
+	n := newTestNode(t)
+	c, err := NewController(n.os, validTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bully := n.startBully(48)
+	c.ManageSecondary(bully.Proc)
+	c.Start()
+	n.runFor(1 * sim.Second)
+
+	if err := c.Apply(Command{Op: "set-buffer", Value: 12}); err != nil {
+		t.Fatalf("set-buffer: %v", err)
+	}
+	if c.Config().BufferCores != 12 {
+		t.Fatalf("config buffer = %d, want 12", c.Config().BufferCores)
+	}
+	n.runFor(2 * sim.Second)
+	if idle := n.os.IdleCores(); idle != 12 {
+		t.Fatalf("idle = %d after set-buffer 12, want 12", idle)
+	}
+
+	if err := c.Apply(Command{Op: "set-memory-limit", Value: 4 << 30}); err != nil {
+		t.Fatalf("set-memory-limit: %v", err)
+	}
+	if err := c.Apply(Command{Op: "set-egress-rate", Value: 10 << 20}); err != nil {
+		t.Fatalf("set-egress-rate: %v", err)
+	}
+	if err := c.Apply(Command{Op: "set-io-rate", Volume: "hdd", Proc: "hdfs-client", Value: 30 << 20}); err != nil {
+		t.Fatalf("set-io-rate: %v", err)
+	}
+	if err := c.Apply(Command{Op: "disable"}); err != nil || !c.Disabled() {
+		t.Fatalf("disable command: err=%v disabled=%v", err, c.Disabled())
+	}
+	if err := c.Apply(Command{Op: "enable"}); err != nil || c.Disabled() {
+		t.Fatalf("enable command: err=%v disabled=%v", err, c.Disabled())
+	}
+}
+
+func TestApplyRejectsBadCommands(t *testing.T) {
+	n := newTestNode(t)
+	c, err := NewController(n.os, validTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Command{
+		{Op: "set-buffer", Value: -1},
+		{Op: "set-buffer", Value: 48},
+		{Op: "set-memory-limit", Value: -5},
+		{Op: "set-egress-rate", Value: -5},
+		{Op: "set-io-rate", Volume: "nope", Proc: "p"},
+		{Op: "frobnicate"},
+	}
+	for _, cmd := range cases {
+		if err := c.Apply(cmd); err == nil {
+			t.Errorf("Apply(%+v) succeeded, want error", cmd)
+		}
+	}
+}
+
+func TestApplyJSON(t *testing.T) {
+	n := newTestNode(t)
+	c, err := NewController(n.os, validTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ApplyJSON([]byte(`{"op":"set-buffer","value":6}`)); err != nil {
+		t.Fatalf("ApplyJSON: %v", err)
+	}
+	if c.Config().BufferCores != 6 {
+		t.Fatalf("buffer = %d, want 6", c.Config().BufferCores)
+	}
+	if err := c.ApplyJSON([]byte(`{not json`)); err == nil || !strings.Contains(err.Error(), "decoding") {
+		t.Fatalf("bad JSON error = %v", err)
+	}
+}
+
+func TestSaveRestoreState(t *testing.T) {
+	n := newTestNode(t)
+	c, err := NewController(n.os, validTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Apply(Command{Op: "set-buffer", Value: 10}); err != nil {
+		t.Fatal(err)
+	}
+	c.Disable()
+	blob, err := c.SaveState()
+	if err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+
+	// Restore on a fresh OS (new machine after re-imaging).
+	n2 := newTestNode(t)
+	c2, err := RestoreController(n2.os, blob)
+	if err != nil {
+		t.Fatalf("RestoreController: %v", err)
+	}
+	if c2.Config().BufferCores != 10 {
+		t.Fatalf("restored buffer = %d, want 10", c2.Config().BufferCores)
+	}
+	if !c2.Disabled() {
+		t.Fatal("restored controller lost the kill-switch position")
+	}
+	if _, err := RestoreController(n2.os, []byte("garbage")); err == nil {
+		t.Fatal("restore from garbage succeeded")
+	}
+}
+
+func TestPrimaryAffinitySettingsUntouched(t *testing.T) {
+	// §4.2: "if the primary uses core affinitization for performance
+	// reasons, then PerfIso would not override these settings". The
+	// controller only actuates the secondary job; a primary that pinned
+	// itself to a core subset must keep that mask through shrinks,
+	// grows, kill switch and re-enable.
+	n := newTestNode(t)
+	c, err := NewController(n.os, validTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := n.newPrimary("indexserve")
+	pinned := cpumodel.AllCores(24) // the service pins itself to die 0
+	n.cpu.SetAffinity(primary, pinned)
+
+	bully := n.startBully(48)
+	c.ManageSecondary(bully.Proc)
+	c.Start()
+	n.runFor(1 * sim.Second)
+	n.spawnPrimaryBurst(primary, 20, 100*sim.Millisecond)
+	n.runFor(1 * sim.Second)
+	c.Disable()
+	n.runFor(1 * sim.Second)
+	c.Enable()
+	n.runFor(1 * sim.Second)
+
+	if got := primary.Affinity(); got != pinned {
+		t.Fatalf("primary affinity changed: %v, want %v", got, pinned)
+	}
+}
+
+func TestMultipleSecondaryProcessesShareOneJob(t *testing.T) {
+	// Production machines run several batch processes (task workers,
+	// the DataNode, the NodeManager); all live in the one PerfIso job
+	// and share its grant.
+	n := newTestNode(t)
+	c, err := NewController(n.os, validTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := workload.NewCPUBully(n.cpu, "worker-1", 24)
+	b2 := workload.NewCPUBully(n.cpu, "worker-2", 24)
+	b1.Start()
+	b2.Start()
+	c.ManageSecondary(b1.Proc)
+	c.ManageSecondary(b2.Proc)
+	c.Start()
+	n.runFor(2 * sim.Second)
+
+	if idle := n.os.IdleCores(); idle != 8 {
+		t.Fatalf("idle = %d with two secondary processes, want the 8 buffer", idle)
+	}
+	if b1.Progress() == 0 || b2.Progress() == 0 {
+		t.Fatalf("a secondary starved: %v / %v", b1.Progress(), b2.Progress())
+	}
+	// Both processes carry the job's mask.
+	if b1.Proc.Affinity() != b2.Proc.Affinity() {
+		t.Fatalf("job members diverged: %v vs %v", b1.Proc.Affinity(), b2.Proc.Affinity())
+	}
+	// A late-arriving process inherits the current restrictions.
+	b3 := workload.NewCPUBully(n.cpu, "worker-3", 8)
+	b3.Start()
+	c.ManageSecondary(b3.Proc)
+	if b3.Proc.Affinity() != b1.Proc.Affinity() {
+		t.Fatalf("late member got %v, want the job mask %v", b3.Proc.Affinity(), b1.Proc.Affinity())
+	}
+}

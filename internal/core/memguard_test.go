@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"perfiso/internal/memmodel"
+	"perfiso/internal/sim"
+)
+
+func memGuardFixture(t *testing.T, limit, reserve int64) (*testNode, *MemoryGuard, *osJobBully) {
+	t.Helper()
+	n := newTestNode(t)
+	job := n.os.CreateJob("secondary")
+	bully := n.startBully(8)
+	job.Assign(bully.Proc)
+	cfg := DefaultConfig()
+	cfg.SecondaryMemoryLimit = limit
+	cfg.SystemMemoryReserve = reserve
+	g := NewMemoryGuard(n.os, job, cfg)
+	g.Start(cfg.MemoryPollInterval)
+	return n, g, &osJobBully{job: job, proc: bully.Proc.Name}
+}
+
+type osJobBully struct {
+	job  interface{ Killed() bool }
+	proc string
+}
+
+func TestMemGuardInertWithoutLimits(t *testing.T) {
+	n, g, _ := memGuardFixture(t, 0, 0)
+	n.runFor(2 * sim.Second)
+	if g.Polls != 0 {
+		t.Fatalf("guard polled %d times with no limits configured", g.Polls)
+	}
+}
+
+func TestMemGuardKillsOverLimit(t *testing.T) {
+	n, g, b := memGuardFixture(t, 4<<30, 0)
+	var reason string
+	g.OnKill = func(r string) { reason = r }
+	n.mem.Set("bully", 2<<30)
+	n.runFor(1 * sim.Second)
+	if b.job.Killed() {
+		t.Fatal("job killed while under limit")
+	}
+	n.mem.Set("bully", 5<<30)
+	n.runFor(1 * sim.Second)
+	if !b.job.Killed() {
+		t.Fatal("job not killed over its limit")
+	}
+	if g.Kills != 1 {
+		t.Fatalf("kills = %d, want 1", g.Kills)
+	}
+	if reason == "" {
+		t.Fatal("OnKill not invoked")
+	}
+	// A killed job frees its memory.
+	if n.mem.Usage("bully") != 0 {
+		t.Fatalf("bully still holds %d bytes after kill", n.mem.Usage("bully"))
+	}
+}
+
+func TestMemGuardKillsOnSystemPressure(t *testing.T) {
+	n, g, b := memGuardFixture(t, 0, 8<<30)
+	// Someone else (the primary growing its cache) eats almost all RAM.
+	n.mem.Set("indexserve", memmodel.Standard128GB-(4<<30))
+	n.runFor(1 * sim.Second)
+	if !b.job.Killed() {
+		t.Fatalf("job survived with free=%d < reserve", n.mem.Free())
+	}
+	_ = g
+}
+
+func TestMemGuardSetLimitAtRuntime(t *testing.T) {
+	n, g, b := memGuardFixture(t, 64<<30, 0)
+	n.mem.Set("bully", 8<<30)
+	n.runFor(1 * sim.Second)
+	if b.job.Killed() {
+		t.Fatal("killed under generous limit")
+	}
+	g.SetLimit(1 << 30)
+	n.runFor(1 * sim.Second)
+	if !b.job.Killed() {
+		t.Fatal("not killed after limit lowered below usage")
+	}
+}
+
+func TestMemGuardStop(t *testing.T) {
+	n, g, b := memGuardFixture(t, 4<<30, 0)
+	g.Stop()
+	n.mem.Set("bully", 32<<30)
+	n.runFor(2 * sim.Second)
+	if b.job.Killed() {
+		t.Fatal("stopped guard still killed the job")
+	}
+}
+
+func TestMemGuardIdempotentAfterKill(t *testing.T) {
+	n, g, _ := memGuardFixture(t, 1<<30, 0)
+	n.mem.Set("bully", 2<<30)
+	n.runFor(1 * sim.Second)
+	kills := g.Kills
+	n.mem.Set("other-secondary", 2<<30) // unrelated process; job already dead
+	n.runFor(2 * sim.Second)
+	if g.Kills != kills {
+		t.Fatalf("guard killed again after job death: %d -> %d", kills, g.Kills)
+	}
+}

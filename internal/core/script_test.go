@@ -1,0 +1,89 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"perfiso/internal/sim"
+)
+
+func TestParseScript(t *testing.T) {
+	src := `
+# operator script
+0.5  {"op":"set-buffer","value":12}
+
+2    {"op":"disable"}
+2.5  {"op":"enable"}
+`
+	s, err := ParseScript(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(s) != 3 {
+		t.Fatalf("entries = %d, want 3", len(s))
+	}
+	if s[0].At != 500*sim.Millisecond || s[0].Command.Op != "set-buffer" {
+		t.Fatalf("entry 0 = %+v", s[0])
+	}
+	if s[2].At != 2500*sim.Millisecond || s[2].Command.Op != "enable" {
+		t.Fatalf("entry 2 = %+v", s[2])
+	}
+}
+
+func TestParseScriptRejections(t *testing.T) {
+	cases := map[string]string{
+		"missing json":   "1.0",
+		"bad time":       "abc {\"op\":\"disable\"}",
+		"negative time":  "-1 {\"op\":\"disable\"}",
+		"bad json":       "1 {nope}",
+		"time backwards": "2 {\"op\":\"disable\"}\n1 {\"op\":\"enable\"}",
+	}
+	for name, src := range cases {
+		if _, err := ParseScript(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestScriptScheduleDrivesController(t *testing.T) {
+	n := newTestNode(t)
+	c, err := NewController(n.os, validTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bully := n.startBully(48)
+	c.ManageSecondary(bully.Proc)
+	c.Start()
+
+	script, err := ParseScript(strings.NewReader(`
+1  {"op":"set-buffer","value":16}
+3  {"op":"disable"}
+5  {"op":"enable"}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied int
+	script.Schedule(c, func(tc TimedCommand, err error) {
+		applied++
+		if err != nil {
+			t.Errorf("command %+v failed: %v", tc, err)
+		}
+	})
+
+	n.runFor(2 * sim.Second) // after set-buffer 16
+	if idle := n.os.IdleCores(); idle != 16 {
+		t.Fatalf("idle = %d at t=2s, want 16", idle)
+	}
+	n.runFor(2 * sim.Second) // after disable
+	if idle := n.os.IdleCores(); idle != 0 {
+		t.Fatalf("idle = %d at t=4s under kill switch, want 0", idle)
+	}
+	n.runFor(3 * sim.Second) // after enable, settled
+	if idle := n.os.IdleCores(); idle != 16 {
+		t.Fatalf("idle = %d at t=7s after re-enable, want 16", idle)
+	}
+	if applied != 3 {
+		t.Fatalf("applied = %d, want 3", applied)
+	}
+}

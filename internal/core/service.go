@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"perfiso/internal/autopilot"
+	"perfiso/internal/osmodel"
+)
+
+// ConfigFileName is the well-known cluster configuration file PerfIso
+// reads through Autopilot (§4: "static limits ... are read from
+// cluster-wide configuration files distributed through the Autopilot
+// environment").
+const ConfigFileName = "perfiso.json"
+
+// Service adapts the controller to Autopilot's service lifecycle
+// (§4.2): it reads its configuration from the distributed config file,
+// persists its recoverable state after every mutating command, and on a
+// crash-restart rebuilds itself from the persisted blob so isolation
+// resumes seamlessly.
+type Service struct {
+	os *osmodel.OS
+
+	ctrl *Controller
+	env  *autopilot.Env
+	// OnManaged, when set, re-attaches secondary processes after every
+	// (re)start; deployments wire this to the Autopilot process registry.
+	OnManaged func(c *Controller)
+}
+
+// NewService builds the Autopilot-managed PerfIso service for one
+// machine.
+func NewService(os *osmodel.OS) *Service { return &Service{os: os} }
+
+// Controller exposes the running controller (nil while stopped).
+func (s *Service) Controller() *Controller { return s.ctrl }
+
+// ServiceName implements autopilot.Service.
+func (s *Service) ServiceName() string { return "perfiso" }
+
+// Start implements autopilot.Service. Recovery order matches the paper:
+// persisted state wins (it carries runtime-issued limit changes and the
+// kill-switch position), falling back to the cluster config file.
+func (s *Service) Start(env *autopilot.Env) error {
+	s.env = env
+	if blob, ok := env.SavedState(); ok {
+		c, err := RestoreController(s.os, blob)
+		if err != nil {
+			return fmt.Errorf("core: restoring persisted state: %w", err)
+		}
+		s.ctrl = c
+	} else {
+		data, ok := env.Config(ConfigFileName)
+		if !ok {
+			return fmt.Errorf("core: cluster config %q not distributed", ConfigFileName)
+		}
+		cfg, err := ParseConfig(data)
+		if err != nil {
+			return err
+		}
+		c, err := NewController(s.os, cfg)
+		if err != nil {
+			return err
+		}
+		s.ctrl = c
+	}
+	if s.OnManaged != nil {
+		s.OnManaged(s.ctrl)
+	}
+	s.ctrl.Start()
+	s.persist()
+	return nil
+}
+
+// Stop implements autopilot.Service.
+func (s *Service) Stop() {
+	if s.ctrl != nil {
+		s.ctrl.Stop()
+		s.ctrl = nil
+	}
+}
+
+// Apply executes a runtime command and persists the resulting state, so
+// a later crash restores the altered limits rather than the originals.
+func (s *Service) Apply(cmd Command) error {
+	if s.ctrl == nil {
+		return fmt.Errorf("core: service not running")
+	}
+	if err := s.ctrl.Apply(cmd); err != nil {
+		return err
+	}
+	s.persist()
+	return nil
+}
+
+func (s *Service) persist() {
+	if s.env == nil || s.ctrl == nil {
+		return
+	}
+	if blob, err := s.ctrl.SaveState(); err == nil {
+		s.env.SaveState(blob)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"perfiso/internal/autopilot"
+	"perfiso/internal/sim"
+)
+
+func TestServiceStartsFromDistributedConfig(t *testing.T) {
+	n := newTestNode(t)
+	mgr := autopilot.NewManager(n.eng)
+	data, err := validTestConfig().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.DistributeConfig(ConfigFileName, data)
+
+	svc := NewService(n.os)
+	bully := n.startBully(48)
+	svc.OnManaged = func(c *Controller) { c.ManageSecondary(bully.Proc) }
+	if err := mgr.Register(svc, 1*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.StartService("perfiso"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	n.runFor(2 * sim.Second)
+	if idle := n.os.IdleCores(); idle != 8 {
+		t.Fatalf("idle = %d under Autopilot-started PerfIso, want 8", idle)
+	}
+}
+
+func TestServiceFailsWithoutConfig(t *testing.T) {
+	n := newTestNode(t)
+	mgr := autopilot.NewManager(n.eng)
+	svc := NewService(n.os)
+	if err := mgr.Register(svc, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.StartService("perfiso"); err == nil {
+		t.Fatal("started without a distributed config")
+	}
+}
+
+func TestServiceCrashRecoveryKeepsRuntimeLimits(t *testing.T) {
+	n := newTestNode(t)
+	mgr := autopilot.NewManager(n.eng)
+	data, err := validTestConfig().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.DistributeConfig(ConfigFileName, data)
+	svc := NewService(n.os)
+	bully := n.startBully(48)
+	svc.OnManaged = func(c *Controller) { c.ManageSecondary(bully.Proc) }
+	if err := mgr.Register(svc, 1*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.StartService("perfiso"); err != nil {
+		t.Fatal(err)
+	}
+	n.runFor(1 * sim.Second)
+
+	// A runtime command alters the buffer from 8 to 14, then PerfIso
+	// crashes. The restarted incarnation must keep 14, not revert to the
+	// config file's 8 (§4.2: it "will resume its function by loading its
+	// state from disk").
+	if err := svc.Apply(Command{Op: "set-buffer", Value: 14}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Crash("perfiso"); err != nil {
+		t.Fatal(err)
+	}
+	n.runFor(3 * sim.Second)
+	if st, _ := mgr.Status("perfiso"); st != autopilot.StatusRunning {
+		t.Fatalf("service status after restart window = %v", st)
+	}
+	if got := svc.Controller().Config().BufferCores; got != 14 {
+		t.Fatalf("restarted buffer = %d, want the runtime-set 14", got)
+	}
+	n.runFor(3 * sim.Second)
+	if idle := n.os.IdleCores(); idle != 14 {
+		t.Fatalf("idle = %d after recovery, want 14", idle)
+	}
+}
+
+func TestServiceCrashRecoveryKeepsKillSwitch(t *testing.T) {
+	n := newTestNode(t)
+	mgr := autopilot.NewManager(n.eng)
+	data, _ := validTestConfig().Marshal()
+	mgr.DistributeConfig(ConfigFileName, data)
+	svc := NewService(n.os)
+	if err := mgr.Register(svc, 1*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.StartService("perfiso"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Apply(Command{Op: "disable"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Crash("perfiso"); err != nil {
+		t.Fatal(err)
+	}
+	n.runFor(3 * sim.Second)
+	if !svc.Controller().Disabled() {
+		t.Fatal("kill switch lost across crash recovery")
+	}
+}
+
+func TestServiceApplyWhileStopped(t *testing.T) {
+	n := newTestNode(t)
+	svc := NewService(n.os)
+	if err := svc.Apply(Command{Op: "disable"}); err == nil {
+		t.Fatal("Apply on stopped service succeeded")
+	}
+}

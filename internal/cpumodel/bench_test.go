@@ -1,0 +1,74 @@
+package cpumodel
+
+import (
+	"testing"
+
+	"perfiso/internal/sim"
+	"perfiso/internal/stats"
+)
+
+// BenchmarkSpawnDispatchIdle measures the wake→dispatch hot path with
+// idle cores available — the common case of every query burst.
+func BenchmarkSpawnDispatchIdle(b *testing.B) {
+	eng := sim.NewEngine()
+	m := New(eng, sim.NewRNG(1), DefaultConfig())
+	p := m.NewProcess("svc", stats.ClassPrimary)
+	all := AllCores(48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Spawn(p, sim.Microsecond, all, nil)
+		for eng.Step() {
+		}
+	}
+}
+
+// BenchmarkSpawnEnqueueSaturated measures wake→enqueue with every core
+// busy — the contended path of the no-isolation experiments.
+func BenchmarkSpawnEnqueueSaturated(b *testing.B) {
+	eng := sim.NewEngine()
+	m := New(eng, sim.NewRNG(1), DefaultConfig())
+	hog := m.NewProcess("hog", stats.ClassSecondary)
+	for i := 0; i < 48; i++ {
+		m.Spawn(hog, Forever, AllCores(48), nil)
+	}
+	eng.Run(sim.Time(sim.Millisecond))
+	p := m.NewProcess("svc", stats.ClassPrimary)
+	all := AllCores(48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := m.Spawn(p, sim.Microsecond, all, nil)
+		m.Cancel(t)
+	}
+}
+
+// BenchmarkSetAffinityShrink measures the blind-isolation actuator: a
+// full-width affinity change over a process with many live threads.
+func BenchmarkSetAffinityShrink(b *testing.B) {
+	eng := sim.NewEngine()
+	m := New(eng, sim.NewRNG(1), DefaultConfig())
+	p := m.NewProcess("batch", stats.ClassSecondary)
+	for i := 0; i < 48; i++ {
+		m.Spawn(p, Forever, AllCores(48), nil)
+	}
+	eng.Run(sim.Time(sim.Millisecond))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			m.SetAffinity(p, TopCores(48, 8))
+		} else {
+			m.SetAffinity(p, AllCores(48))
+		}
+	}
+}
+
+// BenchmarkIdleMaskQuery measures the §3.1.1 monitoring primitive — it
+// must be nearly free since the controller calls it every poll.
+func BenchmarkIdleMaskQuery(b *testing.B) {
+	eng := sim.NewEngine()
+	m := New(eng, sim.NewRNG(1), DefaultConfig())
+	var acc int
+	for i := 0; i < b.N; i++ {
+		acc += m.IdleCount()
+	}
+	_ = acc
+}

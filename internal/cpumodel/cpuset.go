@@ -1,0 +1,111 @@
+// Package cpumodel simulates a multicore server's CPU scheduler with the
+// semantics PerfIso depends on: per-core run queues with server-class
+// quanta, idle-core-first thread placement, an O(1) idle-core bitmask
+// (the Windows syscall of §3.1.1), process affinity masks whose shrink
+// evicts running threads immediately, and windowed CPU-cycle budgets
+// (the Job Object / cgroups rate control of §6.1.4).
+//
+// It deliberately models no thread priorities: PerfIso treats the OS
+// scheduler as a black box and only manipulates affinity sets.
+package cpumodel
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// CPUSet is an affinity bitmask over up to 64 logical cores, mirroring
+// the bitmask returned by the idle-core system call in the paper.
+type CPUSet uint64
+
+// AllCores returns the set {0..n-1}. n must be in [0, 64].
+func AllCores(n int) CPUSet {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("cpumodel: invalid core count %d", n))
+	}
+	if n == 64 {
+		return ^CPUSet(0)
+	}
+	return CPUSet(1)<<uint(n) - 1
+}
+
+// TopCores returns the set of the k highest-numbered cores of a machine
+// with n cores: the cores PerfIso hands to the secondary tenant.
+func TopCores(n, k int) CPUSet {
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return AllCores(n) &^ AllCores(n-k)
+}
+
+// Has reports whether core i is in the set.
+func (s CPUSet) Has(i int) bool { return i >= 0 && i < 64 && s&(1<<uint(i)) != 0 }
+
+// With returns the set plus core i.
+func (s CPUSet) With(i int) CPUSet { return s | 1<<uint(i) }
+
+// Without returns the set minus core i.
+func (s CPUSet) Without(i int) CPUSet { return s &^ (1 << uint(i)) }
+
+// Count reports the number of cores in the set.
+func (s CPUSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// IsEmpty reports whether the set has no cores.
+func (s CPUSet) IsEmpty() bool { return s == 0 }
+
+// Lowest returns the lowest-numbered core in the set, or -1 when empty.
+func (s CPUSet) Lowest() int {
+	if s == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
+// Highest returns the highest-numbered core in the set, or -1 when empty.
+func (s CPUSet) Highest() int {
+	if s == 0 {
+		return -1
+	}
+	return 63 - bits.LeadingZeros64(uint64(s))
+}
+
+// ForEach calls fn for every core in the set, in ascending order.
+func (s CPUSet) ForEach(fn func(core int)) {
+	for m := uint64(s); m != 0; {
+		i := bits.TrailingZeros64(m)
+		fn(i)
+		m &= m - 1
+	}
+}
+
+// String renders the set as a compact range list, e.g. "0-3,8,40-47".
+func (s CPUSet) String() string {
+	if s == 0 {
+		return "{}"
+	}
+	var parts []string
+	start, prev := -1, -2
+	flush := func() {
+		if start < 0 {
+			return
+		}
+		if start == prev {
+			parts = append(parts, fmt.Sprintf("%d", start))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", start, prev))
+		}
+	}
+	s.ForEach(func(i int) {
+		if i != prev+1 {
+			flush()
+			start = i
+		}
+		prev = i
+	})
+	flush()
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,58 @@
+package diskmodel
+
+import (
+	"testing"
+
+	"perfiso/internal/sim"
+)
+
+// BenchmarkVolumeThroughput measures end-to-end request processing on a
+// saturated HDD stripe (submit → queue → service → complete).
+func BenchmarkVolumeThroughput(b *testing.B) {
+	eng := sim.NewEngine()
+	v := NewVolume(eng, HDDStripeConfig())
+	done := 0
+	var issue func()
+	issue = func() {
+		v.Submit(&Request{
+			Proc:       "bench",
+			Kind:       OpWrite,
+			Bytes:      8 << 10,
+			Sequential: true,
+			OnComplete: func() { done++; issue() },
+		})
+	}
+	for i := 0; i < 8; i++ {
+		issue()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !eng.Step() {
+			b.Fatal("volume went idle")
+		}
+	}
+	_ = done
+}
+
+// BenchmarkVolumeRateLimited measures the token-bucket gate path.
+func BenchmarkVolumeRateLimited(b *testing.B) {
+	eng := sim.NewEngine()
+	v := NewVolume(eng, HDDStripeConfig())
+	v.SetRateLimit("bench", 10<<20, 0)
+	var issue func()
+	issue = func() {
+		v.Submit(&Request{
+			Proc: "bench", Kind: OpWrite, Bytes: 8 << 10, Sequential: true,
+			OnComplete: issue,
+		})
+	}
+	for i := 0; i < 4; i++ {
+		issue()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !eng.Step() {
+			b.Fatal("volume went idle")
+		}
+	}
+}

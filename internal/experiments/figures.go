@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"perfiso/internal/isolation"
+)
+
+// Loads are the two query rates of §5.3: approximate average (2,000
+// QPS) and approximate peak (4,000 QPS).
+var Loads = []float64{2000, 4000}
+
+// Fig4 reproduces Figs. 4a/4b: IndexServe standalone vs colocated with
+// an unrestricted mid (24-thread) and high (48-thread) secondary, at
+// both loads. Keyed [bully][load].
+type Fig4 struct {
+	Cells map[BullyMode]map[float64]SingleResult
+}
+
+// RunFig4 executes the six no-isolation cells.
+func RunFig4(scale Scale) Fig4 {
+	out := Fig4{Cells: map[BullyMode]map[float64]SingleResult{}}
+	for _, b := range []BullyMode{BullyOff, BullyMid, BullyHigh} {
+		out.Cells[b] = map[float64]SingleResult{}
+		for _, qps := range Loads {
+			out.Cells[b][qps] = RunSingle(qps, b, nil, scale)
+		}
+	}
+	return out
+}
+
+// Fig5 reproduces Figs. 5a/5b: the high secondary under blind isolation
+// with 4 and 8 buffer cores. Keyed [buffer][load]; Baseline carries the
+// standalone runs the degradation is measured against.
+type Fig5 struct {
+	Buffers  []int
+	Cells    map[int]map[float64]SingleResult
+	Baseline map[float64]SingleResult
+}
+
+// RunFig5 executes the blind-isolation sweep.
+func RunFig5(scale Scale) Fig5 {
+	out := Fig5{
+		Buffers:  []int{4, 8},
+		Cells:    map[int]map[float64]SingleResult{},
+		Baseline: map[float64]SingleResult{},
+	}
+	for _, qps := range Loads {
+		out.Baseline[qps] = RunSingle(qps, BullyOff, nil, scale)
+	}
+	for _, buf := range out.Buffers {
+		out.Cells[buf] = map[float64]SingleResult{}
+		for _, qps := range Loads {
+			pol := &isolation.Blind{BufferCores: buf}
+			out.Cells[buf][qps] = RunSingle(qps, BullyHigh, pol, scale)
+		}
+	}
+	return out
+}
+
+// Fig6 reproduces Figs. 6a/6b: the high secondary statically restricted
+// to 24, 16 and 8 cores. Keyed [cores][load].
+type Fig6 struct {
+	CoreCounts []int
+	Cells      map[int]map[float64]SingleResult
+	Baseline   map[float64]SingleResult
+}
+
+// RunFig6 executes the static core-restriction sweep.
+func RunFig6(scale Scale) Fig6 {
+	out := Fig6{
+		CoreCounts: []int{24, 16, 8},
+		Cells:      map[int]map[float64]SingleResult{},
+		Baseline:   map[float64]SingleResult{},
+	}
+	for _, qps := range Loads {
+		out.Baseline[qps] = RunSingle(qps, BullyOff, nil, scale)
+	}
+	for _, cores := range out.CoreCounts {
+		out.Cells[cores] = map[float64]SingleResult{}
+		for _, qps := range Loads {
+			out.Cells[cores][qps] = RunSingle(qps, BullyHigh, isolation.StaticCores{Cores: cores}, scale)
+		}
+	}
+	return out
+}
+
+// Fig7 reproduces Figs. 7a/7b/7c: the high secondary restricted to 45%,
+// 25% and 5% of CPU cycles. Keyed [fraction][load].
+type Fig7 struct {
+	Fractions []float64
+	Cells     map[float64]map[float64]SingleResult
+	Baseline  map[float64]SingleResult
+}
+
+// RunFig7 executes the cycle-cap sweep.
+func RunFig7(scale Scale) Fig7 {
+	out := Fig7{
+		Fractions: []float64{0.45, 0.25, 0.05},
+		Cells:     map[float64]map[float64]SingleResult{},
+		Baseline:  map[float64]SingleResult{},
+	}
+	for _, qps := range Loads {
+		out.Baseline[qps] = RunSingle(qps, BullyOff, nil, scale)
+	}
+	for _, f := range out.Fractions {
+		out.Cells[f] = map[float64]SingleResult{}
+		for _, qps := range Loads {
+			out.Cells[f][qps] = RunSingle(qps, BullyHigh, isolation.CycleCap{Fraction: f}, scale)
+		}
+	}
+	return out
+}
+
+// Fig8 reproduces Figs. 8a/8b/8c: the side-by-side comparison at 2,000
+// QPS with the high secondary — standalone, no isolation, blind
+// isolation (8 buffer cores), static 8 cores, and a 5% cycle cap —
+// reporting P99 latency, idle CPU, and the bully's absolute progress.
+type Fig8 struct {
+	Standalone SingleResult
+	NoIso      SingleResult
+	Blind      SingleResult
+	Cores      SingleResult
+	Cycles     SingleResult
+	// Unrestricted is the colocated no-isolation run the paper
+	// normalizes "progress under isolation" against (§6.1.4).
+	Unrestricted SingleResult
+}
+
+// RunFig8 executes the comparison at the given load (the paper uses
+// 2,000 QPS; §6.1.4's progress discussion also references 4,000).
+func RunFig8(qps float64, scale Scale) Fig8 {
+	noiso := RunSingle(qps, BullyHigh, nil, scale)
+	return Fig8{
+		Standalone:   RunSingle(qps, BullyOff, nil, scale),
+		NoIso:        noiso,
+		Blind:        RunSingle(qps, BullyHigh, &isolation.Blind{BufferCores: 8}, scale),
+		Cores:        RunSingle(qps, BullyHigh, isolation.StaticCores{Cores: 8}, scale),
+		Cycles:       RunSingle(qps, BullyHigh, isolation.CycleCap{Fraction: 0.05}, scale),
+		Unrestricted: noiso,
+	}
+}
+
+// All lists the Fig. 8 cells in the paper's bar order.
+func (f Fig8) All() []SingleResult {
+	return []SingleResult{f.Standalone, f.NoIso, f.Blind, f.Cores, f.Cycles}
+}
+
+// ProgressShares reports each isolation technique's secondary progress
+// as a fraction of the unrestricted (no isolation) colocated run — the
+// §6.1.4 numbers (blind 62%, cores 45%, cycles 9% at 2,000 QPS).
+func (f Fig8) ProgressShares() (blind, cores, cycles float64) {
+	den := f.Unrestricted.BullyProgress
+	if den == 0 {
+		return 0, 0, 0
+	}
+	return f.Blind.BullyProgress / den,
+		f.Cores.BullyProgress / den,
+		f.Cycles.BullyProgress / den
+}
+
+// Headline reproduces the §1/§6 headline: average CPU utilization at
+// off-peak load (2,000 QPS) standalone vs colocated under blind
+// isolation with 8 buffer cores.
+type Headline struct {
+	StandaloneUsedPct float64
+	ColocatedUsedPct  float64
+	SecondaryPct      float64
+}
+
+// RunHeadline executes the two headline cells.
+func RunHeadline(scale Scale) Headline {
+	alone := RunSingle(2000, BullyOff, nil, scale)
+	colo := RunSingle(2000, BullyHigh, &isolation.Blind{BufferCores: 8}, scale)
+	return Headline{
+		StandaloneUsedPct: alone.Breakdown.UsedPct(),
+		ColocatedUsedPct:  colo.Breakdown.UsedPct(),
+		SecondaryPct:      colo.Breakdown.SecondaryPct,
+	}
+}

@@ -1,0 +1,156 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (§5–§6): one runner per figure, shared single-machine and cluster
+// fixtures, and table formatting that prints the same rows the paper
+// reports. Absolute values differ from the paper's testbed (this is a
+// simulator, not Bing hardware); the calibration tests assert the
+// published *shape* — who wins, by what rough factor, where the
+// crossovers fall.
+package experiments
+
+import (
+	"fmt"
+
+	"perfiso/internal/isolation"
+	"perfiso/internal/node"
+	"perfiso/internal/sim"
+	"perfiso/internal/stats"
+	"perfiso/internal/workload"
+)
+
+// Scale sizes an experiment run. The paper replays 500k queries with a
+// 100k warmup; tests and benches use smaller traces with the same
+// structure.
+type Scale struct {
+	// Queries is the trace length, Warmup the unreported prefix.
+	Queries, Warmup int
+	// Seed drives trace generation and machine randomness.
+	Seed uint64
+}
+
+// PaperScale is the full §5.3 trace.
+func PaperScale() Scale { return Scale{Queries: 500000, Warmup: 100000, Seed: 2017} }
+
+// TestScale keeps runs around a second of wall clock while preserving
+// enough samples for a stable P99 (tail estimates need thousands).
+func TestScale() Scale { return Scale{Queries: 24000, Warmup: 4000, Seed: 2017} }
+
+// BullyMode selects the secondary intensity of §6.1: off, mid (24
+// worker threads) or high (48 worker threads).
+type BullyMode int
+
+const (
+	// BullyOff runs the primary standalone.
+	BullyOff BullyMode = iota
+	// BullyMid is the 24-thread CPU bully.
+	BullyMid
+	// BullyHigh is the 48-thread CPU bully.
+	BullyHigh
+)
+
+// Threads maps the mode to its worker count on a 48-core machine.
+func (b BullyMode) Threads() int {
+	switch b {
+	case BullyMid:
+		return 24
+	case BullyHigh:
+		return 48
+	}
+	return 0
+}
+
+func (b BullyMode) String() string {
+	switch b {
+	case BullyOff:
+		return "standalone"
+	case BullyMid:
+		return "mid"
+	case BullyHigh:
+		return "high"
+	}
+	return fmt.Sprintf("bully(%d)", int(b))
+}
+
+// SingleResult is one single-machine run (one bar group of Figs. 4–8).
+type SingleResult struct {
+	// Policy and Bully identify the cell.
+	Policy string
+	Bully  string
+	// QPS is the offered load.
+	QPS float64
+	// Latency is the measured query-latency summary.
+	Latency stats.LatencySummary
+	// Breakdown is the CPU utilization split over the measured window.
+	Breakdown stats.Breakdown
+	// DropRate is the fraction of queries dropped at the deadline.
+	DropRate float64
+	// BullyProgress is the secondary's CPU-seconds over the measured
+	// window — the paper's "absolute progress" (Fig. 8c).
+	BullyProgress float64
+}
+
+// DegradationMs reports latency degradation against a baseline run at
+// the same load (the y-axis of Figs. 5a, 6a, 7a).
+func (r SingleResult) DegradationMs(baseline SingleResult) (p50, p95, p99 float64) {
+	return r.Latency.P50Ms - baseline.Latency.P50Ms,
+		r.Latency.P95Ms - baseline.Latency.P95Ms,
+		r.Latency.P99Ms - baseline.Latency.P99Ms
+}
+
+// RunSingle executes one single-machine colocation cell: IndexServe at
+// qps colocated with the selected bully under the given policy.
+// A nil policy means no isolation.
+func RunSingle(qps float64, bully BullyMode, pol isolation.Policy, scale Scale) SingleResult {
+	eng := sim.NewEngine()
+	cfg := node.DefaultConfig()
+	cfg.Seed = scale.Seed
+	n := node.New(eng, cfg)
+
+	res := SingleResult{QPS: qps, Bully: bully.String(), Policy: "none"}
+	if pol != nil {
+		res.Policy = pol.Name()
+	}
+
+	var b *workload.CPUBully
+	job := n.OS.CreateJob("experiment-secondary")
+	if bully != BullyOff {
+		b = workload.NewCPUBully(n.CPU, "bully", bully.Threads())
+		b.Start()
+		job.Assign(b.Proc)
+	}
+	if pol != nil {
+		if err := pol.Install(n.OS, job); err != nil {
+			panic(fmt.Sprintf("experiments: installing %s: %v", pol.Name(), err))
+		}
+	}
+
+	trace := workload.GenerateTrace(workload.TraceConfig{
+		Queries: scale.Queries,
+		Rate:    qps,
+		Seed:    scale.Seed,
+	})
+	var bullyBase float64
+	if scale.Warmup > 0 && scale.Warmup < len(trace) {
+		eng.At(trace[scale.Warmup].Arrival, func() {
+			n.ResetMeasurement()
+			if b != nil {
+				bullyBase = b.Progress()
+			}
+		})
+	}
+	client := workload.NewClient(eng, func(q workload.QuerySpec) { n.Server.Submit(q) })
+	client.Replay(trace)
+	last := trace[len(trace)-1].Arrival
+	eng.Run(last.Add(sim.Duration(cfg.IndexServe.Deadline) + sim.Second))
+
+	res.Latency = n.Server.Latency.Summary()
+	res.Breakdown = n.CPU.Breakdown()
+	res.DropRate = n.Server.DropRate()
+	if b != nil {
+		res.BullyProgress = b.Progress() - bullyBase
+	}
+	if pol != nil {
+		pol.Uninstall(n.OS, job)
+	}
+	n.CPU.CheckInvariants()
+	return res
+}

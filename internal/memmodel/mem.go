@@ -1,0 +1,120 @@
+// Package memmodel tracks per-process memory footprints on a machine.
+// Primary services have an engineered fixed working set that must never
+// be compromised (§3.2); PerfIso limits the secondary's footprint and
+// kills secondary processes when memory runs very low.
+package memmodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tracker accounts memory for one machine.
+type Tracker struct {
+	totalBytes int64
+	usage      map[string]int64
+	limits     map[string]int64
+	// OnLimitExceeded fires when a process's usage rises above its limit.
+	OnLimitExceeded func(proc string, usage, limit int64)
+	// OnPressure fires when machine free memory falls below the
+	// threshold set by SetPressureThreshold.
+	OnPressure        func(free int64)
+	pressureThreshold int64
+}
+
+// NewTracker creates a tracker for a machine with the given RAM size.
+func NewTracker(totalBytes int64) *Tracker {
+	if totalBytes <= 0 {
+		panic("memmodel: non-positive machine memory")
+	}
+	return &Tracker{
+		totalBytes: totalBytes,
+		usage:      map[string]int64{},
+		limits:     map[string]int64{},
+	}
+}
+
+// Total reports machine RAM.
+func (t *Tracker) Total() int64 { return t.totalBytes }
+
+// Used reports the sum of all footprints.
+func (t *Tracker) Used() int64 {
+	var sum int64
+	for _, u := range t.usage {
+		sum += u
+	}
+	return sum
+}
+
+// Free reports unallocated memory.
+func (t *Tracker) Free() int64 { return t.totalBytes - t.Used() }
+
+// Usage reports one process's footprint.
+func (t *Tracker) Usage(proc string) int64 { return t.usage[proc] }
+
+// Procs lists tracked processes, sorted.
+func (t *Tracker) Procs() []string {
+	out := make([]string, 0, len(t.usage))
+	for p := range t.usage {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetLimit caps a process's footprint; 0 removes the cap.
+func (t *Tracker) SetLimit(proc string, bytes int64) {
+	if bytes <= 0 {
+		delete(t.limits, proc)
+		return
+	}
+	t.limits[proc] = bytes
+	t.check(proc)
+}
+
+// Limit reports a process's cap (0 = none).
+func (t *Tracker) Limit(proc string) int64 { return t.limits[proc] }
+
+// SetPressureThreshold arms OnPressure when free memory dips below
+// bytes.
+func (t *Tracker) SetPressureThreshold(bytes int64) { t.pressureThreshold = bytes }
+
+// Set records a process's current footprint.
+func (t *Tracker) Set(proc string, bytes int64) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("memmodel: negative footprint for %s", proc))
+	}
+	t.usage[proc] = bytes
+	t.check(proc)
+	if t.pressureThreshold > 0 && t.Free() < t.pressureThreshold && t.OnPressure != nil {
+		t.OnPressure(t.Free())
+	}
+}
+
+// Grow adjusts a process's footprint by delta (clamped at zero).
+func (t *Tracker) Grow(proc string, delta int64) {
+	u := t.usage[proc] + delta
+	if u < 0 {
+		u = 0
+	}
+	t.Set(proc, u)
+}
+
+// Release removes a process entirely (e.g. after a kill).
+func (t *Tracker) Release(proc string) { delete(t.usage, proc) }
+
+func (t *Tracker) check(proc string) {
+	limit, ok := t.limits[proc]
+	if !ok {
+		return
+	}
+	if u := t.usage[proc]; u > limit && t.OnLimitExceeded != nil {
+		t.OnLimitExceeded(proc, u, limit)
+	}
+}
+
+// GB is a convenience constant for configuration.
+const GB = int64(1) << 30
+
+// Standard128GB is the evaluation machines' RAM (§5.2).
+const Standard128GB = 128 * GB

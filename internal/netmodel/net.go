@@ -1,0 +1,187 @@
+// Package netmodel simulates a server's egress NIC: a strict-priority
+// transmit queue with an optional token-bucket throttle on low-priority
+// (secondary-tenant) traffic, which is how PerfIso deprioritizes batch
+// egress so the primary keeps its throughput and response latency (§3.2).
+package netmodel
+
+import (
+	"perfiso/internal/sim"
+	"perfiso/internal/stats"
+)
+
+// PriorityClass separates primary from secondary egress.
+type PriorityClass int
+
+const (
+	// PriorityHigh is used by the primary tenant (never throttled).
+	PriorityHigh PriorityClass = iota
+	// PriorityLow is used by secondary tenants; subject to throttling
+	// and always transmitted after pending high-priority traffic.
+	PriorityLow
+)
+
+// Packet is one egress transfer (a message or a chunk of a stream).
+type Packet struct {
+	Proc     string
+	Class    PriorityClass
+	Bytes    int64
+	OnSent   func()
+	enqueued sim.Time
+}
+
+// NICConfig describes the egress link.
+type NICConfig struct {
+	// Bandwidth is the link rate in bytes per second (10 GbE ≈ 1.25e9).
+	Bandwidth float64
+	// WireLatency is added per packet (propagation + stack cost).
+	WireLatency sim.Duration
+}
+
+// TenGbE returns the evaluation machines' NIC.
+func TenGbE() NICConfig {
+	return NICConfig{Bandwidth: 1.25e9, WireLatency: 40 * sim.Microsecond}
+}
+
+// NIC is the egress path of one machine.
+type NIC struct {
+	eng *sim.Engine
+	cfg NICConfig
+
+	busy bool
+	high []*Packet
+	low  []*Packet
+	// Low-priority token bucket; lowRate <= 0 means unthrottled.
+	lowRate   float64
+	lowTokens float64
+	lastFill  sim.Time
+	gateArmed bool
+
+	classBytes [2]int64
+	delay      [2]*stats.Histogram
+}
+
+// NewNIC creates an egress NIC driven by eng.
+func NewNIC(eng *sim.Engine, cfg NICConfig) *NIC {
+	if cfg.Bandwidth <= 0 {
+		panic("netmodel: non-positive bandwidth")
+	}
+	return &NIC{
+		eng:   eng,
+		cfg:   cfg,
+		delay: [2]*stats.Histogram{stats.NewHistogram(), stats.NewHistogram()},
+	}
+}
+
+// SetLowPriorityRate caps secondary egress at bytesPerSec (≤0 removes
+// the cap).
+func (n *NIC) SetLowPriorityRate(bytesPerSec float64) {
+	n.refill()
+	n.lowRate = bytesPerSec
+	if bytesPerSec > 0 && n.lowTokens > bytesPerSec {
+		n.lowTokens = bytesPerSec
+	}
+}
+
+// ClassBytes reports total bytes sent for the class.
+func (n *NIC) ClassBytes(c PriorityClass) int64 { return n.classBytes[c] }
+
+// Delay exposes the queueing-delay histogram for the class.
+func (n *NIC) Delay(c PriorityClass) *stats.Histogram { return n.delay[c] }
+
+// QueueDepth reports packets waiting (both classes).
+func (n *NIC) QueueDepth() int { return len(n.high) + len(n.low) }
+
+func (n *NIC) refill() {
+	now := n.eng.Now()
+	dt := now.Sub(n.lastFill).Seconds()
+	if dt <= 0 {
+		return
+	}
+	n.lastFill = now
+	if n.lowRate > 0 {
+		n.lowTokens += n.lowRate * dt
+		// Burst bound: 100 ms worth of tokens.
+		if max := n.lowRate * 0.1; n.lowTokens > max {
+			n.lowTokens = max
+		}
+	}
+}
+
+// Send enqueues a packet for transmission.
+func (n *NIC) Send(p *Packet) {
+	if p.Bytes <= 0 {
+		panic("netmodel: non-positive packet size")
+	}
+	p.enqueued = n.eng.Now()
+	if p.Class == PriorityHigh {
+		n.high = append(n.high, p)
+	} else {
+		n.low = append(n.low, p)
+	}
+	if !n.busy {
+		n.transmitNext()
+	}
+}
+
+// eligibleLow reports whether the head low-priority packet clears the
+// token bucket.
+func (n *NIC) eligibleLow() bool {
+	if len(n.low) == 0 {
+		return false
+	}
+	if n.lowRate <= 0 {
+		return true
+	}
+	n.refill()
+	return n.lowTokens >= float64(n.low[0].Bytes)
+}
+
+func (n *NIC) transmitNext() {
+	var p *Packet
+	switch {
+	case len(n.high) > 0:
+		p = n.high[0]
+		n.high = n.high[1:]
+	case n.eligibleLow():
+		p = n.low[0]
+		n.low = n.low[1:]
+		if n.lowRate > 0 {
+			n.lowTokens -= float64(p.Bytes)
+		}
+	case len(n.low) > 0:
+		// Low traffic exists but is throttled: retry when tokens accrue.
+		n.armGate()
+		return
+	default:
+		return
+	}
+	n.busy = true
+	n.delay[p.Class].AddDuration(n.eng.Now().Sub(p.enqueued))
+	txTime := sim.Duration(float64(p.Bytes) / n.cfg.Bandwidth * float64(sim.Second))
+	n.eng.After(txTime+n.cfg.WireLatency, func() {
+		n.busy = false
+		n.classBytes[p.Class] += p.Bytes
+		if p.OnSent != nil {
+			p.OnSent()
+		}
+		n.transmitNext()
+	})
+}
+
+func (n *NIC) armGate() {
+	if n.gateArmed || len(n.low) == 0 || n.lowRate <= 0 {
+		return
+	}
+	need := (float64(n.low[0].Bytes) - n.lowTokens) / n.lowRate
+	wait := sim.Duration(need * float64(sim.Second))
+	if wait < sim.Microsecond {
+		wait = sim.Microsecond
+	}
+	n.gateArmed = true
+	n.eng.After(wait, func() {
+		n.gateArmed = false
+		if !n.busy {
+			n.transmitNext()
+		}
+	})
+}

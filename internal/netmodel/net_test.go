@@ -1,0 +1,215 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perfiso/internal/sim"
+)
+
+func nic(eng *sim.Engine) *NIC {
+	return NewNIC(eng, NICConfig{Bandwidth: 1e6, WireLatency: 0}) // 1 MB/s for easy math
+}
+
+func TestSinglePacketTransmit(t *testing.T) {
+	eng := sim.NewEngine()
+	n := nic(eng)
+	sent := false
+	n.Send(&Packet{Proc: "p", Class: PriorityHigh, Bytes: 1000, OnSent: func() { sent = true }})
+	eng.RunAll()
+	if !sent {
+		t.Fatal("packet not sent")
+	}
+	if eng.Now() != sim.Time(sim.Millisecond) {
+		t.Fatalf("tx time = %v, want 1ms", eng.Now())
+	}
+	if n.ClassBytes(PriorityHigh) != 1000 {
+		t.Fatalf("class bytes = %d", n.ClassBytes(PriorityHigh))
+	}
+}
+
+func TestStrictPriority(t *testing.T) {
+	eng := sim.NewEngine()
+	n := nic(eng)
+	var order []string
+	n.Send(&Packet{Proc: "x", Class: PriorityLow, Bytes: 1000,
+		OnSent: func() { order = append(order, "first") }})
+	// While the first transmits, queue one low then one high.
+	n.Send(&Packet{Proc: "batch", Class: PriorityLow, Bytes: 1000,
+		OnSent: func() { order = append(order, "low") }})
+	n.Send(&Packet{Proc: "svc", Class: PriorityHigh, Bytes: 1000,
+		OnSent: func() { order = append(order, "high") }})
+	eng.RunAll()
+	if len(order) != 3 || order[1] != "high" || order[2] != "low" {
+		t.Fatalf("order = %v, want high before low", order)
+	}
+}
+
+func TestLowPriorityThrottle(t *testing.T) {
+	eng := sim.NewEngine()
+	n := nic(eng)
+	n.SetLowPriorityRate(100e3) // 100 KB/s
+	for i := 0; i < 50; i++ {
+		n.Send(&Packet{Proc: "batch", Class: PriorityLow, Bytes: 10e3})
+	}
+	eng.Run(sim.Time(1 * sim.Second))
+	got := n.ClassBytes(PriorityLow)
+	// ≤ 100 KB/s + 100ms burst allowance.
+	if got > 120e3 {
+		t.Fatalf("throttled class sent %d bytes in 1s at 100KB/s", got)
+	}
+	if got < 50e3 {
+		t.Fatalf("throttled class starved: %d bytes", got)
+	}
+}
+
+func TestHighUnaffectedByLowThrottle(t *testing.T) {
+	eng := sim.NewEngine()
+	n := nic(eng)
+	n.SetLowPriorityRate(1) // essentially frozen
+	for i := 0; i < 10; i++ {
+		n.Send(&Packet{Proc: "batch", Class: PriorityLow, Bytes: 10e3})
+	}
+	sent := false
+	n.Send(&Packet{Proc: "svc", Class: PriorityHigh, Bytes: 1000, OnSent: func() { sent = true }})
+	eng.Run(sim.Time(10 * sim.Millisecond))
+	if !sent {
+		t.Fatal("high-priority packet blocked behind throttled low traffic")
+	}
+}
+
+func TestThrottleRemoval(t *testing.T) {
+	eng := sim.NewEngine()
+	n := nic(eng)
+	n.SetLowPriorityRate(1)
+	n.Send(&Packet{Proc: "batch", Class: PriorityLow, Bytes: 100e3})
+	eng.Run(sim.Time(100 * sim.Millisecond))
+	if n.ClassBytes(PriorityLow) != 0 {
+		t.Fatal("packet leaked through a ~zero rate")
+	}
+	n.SetLowPriorityRate(0)
+	// Kick transmission via another packet.
+	n.Send(&Packet{Proc: "batch", Class: PriorityLow, Bytes: 100e3})
+	eng.RunAll()
+	if n.ClassBytes(PriorityLow) != 200e3 {
+		t.Fatalf("after uncapping, sent = %d, want 200e3", n.ClassBytes(PriorityLow))
+	}
+}
+
+func TestQueueDelayHistogram(t *testing.T) {
+	eng := sim.NewEngine()
+	n := nic(eng)
+	n.Send(&Packet{Proc: "p", Class: PriorityHigh, Bytes: 1000})
+	n.Send(&Packet{Proc: "p", Class: PriorityHigh, Bytes: 1000})
+	eng.RunAll()
+	if n.Delay(PriorityHigh).Count() != 2 {
+		t.Fatal("delay histogram missing samples")
+	}
+	// Second packet waited ~1ms.
+	if got := n.Delay(PriorityHigh).Max(); got < float64(900*sim.Microsecond) {
+		t.Fatalf("max delay = %v, want ~1ms", got)
+	}
+}
+
+func TestQueueDepth(t *testing.T) {
+	eng := sim.NewEngine()
+	n := nic(eng)
+	for i := 0; i < 3; i++ {
+		n.Send(&Packet{Proc: "p", Class: PriorityLow, Bytes: 1000})
+	}
+	if n.QueueDepth() != 2 { // one is in flight
+		t.Fatalf("queue depth = %d, want 2", n.QueueDepth())
+	}
+	eng.RunAll()
+	if n.QueueDepth() != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	n := nic(eng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-byte packet did not panic")
+		}
+	}()
+	n.Send(&Packet{Proc: "p", Bytes: 0})
+}
+
+func TestTenGbEConfig(t *testing.T) {
+	cfg := TenGbE()
+	if cfg.Bandwidth != 1.25e9 {
+		t.Fatalf("10GbE bandwidth = %v", cfg.Bandwidth)
+	}
+}
+
+func TestPriorityOrderingProperty(t *testing.T) {
+	// Whatever mix of packets is enqueued while the NIC is busy, no
+	// low-priority packet may transmit while a high-priority packet is
+	// waiting.
+	check := func(seed uint64, n uint8) bool {
+		eng := sim.NewEngine()
+		nic := NewNIC(eng, TenGbE())
+		rng := sim.NewRNG(seed)
+		var order []PriorityClass
+		count := int(n%40) + 10
+		for i := 0; i < count; i++ {
+			class := PriorityLow
+			if rng.Float64() < 0.5 {
+				class = PriorityHigh
+			}
+			eng.At(sim.Time(rng.IntBetween(0, 1000))*sim.Time(sim.Microsecond), func() {
+				nic.Send(&Packet{
+					Proc:  "p",
+					Class: class,
+					Bytes: int64(rng.IntBetween(1, 64)) << 10,
+					OnSent: func() {
+						order = append(order, class)
+					},
+				})
+			})
+		}
+		eng.RunAll()
+		if len(order) != count {
+			return false
+		}
+		// Validate via byte conservation and the delay histograms:
+		// high-priority delays must not exceed the largest packet's
+		// transmit time by much (it never waits behind the low queue).
+		hp99 := sim.Duration(nic.Delay(PriorityHigh).P99())
+		if hp99 > 2*sim.Millisecond {
+			t.Logf("seed=%d: high-priority P99 delay %v", seed, hp99)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNICByteConservation(t *testing.T) {
+	eng := sim.NewEngine()
+	nic := NewNIC(eng, TenGbE())
+	var wantHigh, wantLow int64
+	r := sim.NewRNG(4)
+	for i := 0; i < 200; i++ {
+		bytes := int64(r.IntBetween(1, 128)) << 10
+		class := PriorityLow
+		if i%3 == 0 {
+			class = PriorityHigh
+		}
+		if class == PriorityHigh {
+			wantHigh += bytes
+		} else {
+			wantLow += bytes
+		}
+		nic.Send(&Packet{Proc: "p", Class: class, Bytes: bytes})
+	}
+	eng.RunAll()
+	if nic.ClassBytes(PriorityHigh) != wantHigh || nic.ClassBytes(PriorityLow) != wantLow {
+		t.Fatalf("byte conservation: got %d/%d want %d/%d",
+			nic.ClassBytes(PriorityHigh), nic.ClassBytes(PriorityLow), wantHigh, wantLow)
+	}
+}

@@ -1,0 +1,114 @@
+// Package node composes one simulated production server: the CPU
+// machine model, SSD/HDD stripes, memory tracker, NIC, OS facade,
+// background OS load, and an IndexServe primary — the fixture every
+// single-machine experiment (Figs. 4–8) runs on.
+package node
+
+import (
+	"perfiso/internal/cpumodel"
+	"perfiso/internal/diskmodel"
+	"perfiso/internal/indexserve"
+	"perfiso/internal/memmodel"
+	"perfiso/internal/netmodel"
+	"perfiso/internal/osmodel"
+	"perfiso/internal/sim"
+	"perfiso/internal/stats"
+	"perfiso/internal/workload"
+)
+
+// Config assembles a node.
+type Config struct {
+	CPU cpumodel.Config
+	// Seed drives all node-local randomness.
+	Seed uint64
+	// IndexServe calibrates the primary; zero value disables the
+	// primary entirely (bully-only fixtures).
+	IndexServe *indexserve.Config
+	// OSBackgroundFraction models kernel/housekeeping load (≈2%).
+	OSBackgroundFraction float64
+	// DisableDisks turns off the SSD/HDD models for CPU-only runs.
+	DisableDisks bool
+	// MemoryBytes sizes RAM; 0 uses the standard 128 GB.
+	MemoryBytes int64
+}
+
+// DefaultConfig mirrors the evaluation hardware (§5.2) with the
+// calibrated IndexServe profile.
+func DefaultConfig() Config {
+	isCfg := indexserve.DefaultConfig()
+	return Config{
+		CPU:                  cpumodel.DefaultConfig(),
+		Seed:                 1,
+		IndexServe:           &isCfg,
+		OSBackgroundFraction: 0.02,
+	}
+}
+
+// Node is one assembled server.
+type Node struct {
+	Eng    *sim.Engine
+	CPU    *cpumodel.Machine
+	OS     *osmodel.OS
+	SSD    *diskmodel.Volume
+	HDD    *diskmodel.Volume
+	Memory *memmodel.Tracker
+	NIC    *netmodel.NIC
+	Server *indexserve.Server
+	OSLoad *workload.BackgroundCPU
+}
+
+// New assembles and starts a node on eng.
+func New(eng *sim.Engine, cfg Config) *Node {
+	n := &Node{Eng: eng}
+	rng := sim.NewRNG(cfg.Seed)
+	n.CPU = cpumodel.New(eng, rng.Split(1), cfg.CPU)
+
+	var vols []*diskmodel.Volume
+	if !cfg.DisableDisks {
+		n.SSD = diskmodel.NewVolume(eng, diskmodel.SSDStripeConfig())
+		n.HDD = diskmodel.NewVolume(eng, diskmodel.HDDStripeConfig())
+		vols = []*diskmodel.Volume{n.SSD, n.HDD}
+	}
+	mem := cfg.MemoryBytes
+	if mem == 0 {
+		mem = memmodel.Standard128GB
+	}
+	n.Memory = memmodel.NewTracker(mem)
+	n.NIC = netmodel.NewNIC(eng, netmodel.TenGbE())
+	n.OS = osmodel.New(eng, n.CPU, vols, n.Memory, n.NIC)
+
+	if cfg.OSBackgroundFraction > 0 {
+		n.OSLoad = workload.NewBackgroundCPU(n.CPU, "os-housekeeping", stats.ClassOS, cfg.OSBackgroundFraction)
+		n.OSLoad.Start()
+	}
+	if cfg.IndexServe != nil {
+		n.Server = indexserve.New(n.CPU, *cfg.IndexServe, n.SSD, n.HDD)
+		n.Server.AttachNIC(n.NIC)
+		// The primary's engineered fixed working set (§3.2).
+		n.Memory.Set(n.Server.Proc.Name, 110*memmodel.GB)
+	}
+	return n
+}
+
+// ReplayTrace schedules the trace against the node's primary and
+// resets measurement state when the warmup prefix has been submitted,
+// mirroring the paper's unreported 100k-query warmup.
+func (n *Node) ReplayTrace(trace []workload.QuerySpec, warmupQueries int) *workload.Client {
+	client := workload.NewClient(n.Eng, func(q workload.QuerySpec) { n.Server.Submit(q) })
+	if warmupQueries > 0 && warmupQueries < len(trace) {
+		boundary := trace[warmupQueries].Arrival
+		n.Eng.At(boundary, func() { n.ResetMeasurement() })
+	}
+	client.Replay(trace)
+	return client
+}
+
+// ResetMeasurement clears latency and utilization history (warmup cut).
+func (n *Node) ResetMeasurement() {
+	n.CPU.ResetAccounting()
+	if n.Server != nil {
+		n.Server.Latency.Reset()
+		n.Server.Completed = 0
+		n.Server.Dropped = 0
+	}
+}

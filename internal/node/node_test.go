@@ -1,0 +1,97 @@
+package node
+
+import (
+	"testing"
+
+	"perfiso/internal/sim"
+	"perfiso/internal/workload"
+)
+
+// drain runs the engine until the trace has fully played out plus a
+// settling period. RunAll would never return here: the node's OS
+// housekeeping load re-arms its ticker forever.
+func drain(eng *sim.Engine, trace []workload.QuerySpec) {
+	last := trace[len(trace)-1].Arrival
+	eng.Run(last.Add(2 * sim.Second))
+}
+
+// runStandalone replays a trace with no secondary and returns the node.
+func runStandalone(t *testing.T, qps float64, queries int) *Node {
+	t.Helper()
+	eng := sim.NewEngine()
+	n := New(eng, DefaultConfig())
+	trace := workload.GenerateTrace(workload.TraceConfig{Queries: queries, Rate: qps, Seed: 42})
+	n.ReplayTrace(trace, queries/5)
+	drain(eng, trace)
+	return n
+}
+
+func TestStandaloneProfile2000(t *testing.T) {
+	n := runStandalone(t, 2000, 16000)
+	sum := n.Server.Latency.Summary()
+	t.Logf("standalone 2000 QPS: %v", sum)
+	t.Logf("breakdown: %v", n.CPU.Breakdown())
+	// Paper: P50 ≈ 4 ms, P99 ≈ 12 ms, CPU ~20% busy (80% idle).
+	if sum.P50Ms < 3.0 || sum.P50Ms > 5.5 {
+		t.Errorf("P50 = %.2f ms, want ~4", sum.P50Ms)
+	}
+	if sum.P99Ms < 9.0 || sum.P99Ms > 15.0 {
+		t.Errorf("P99 = %.2f ms, want ~12", sum.P99Ms)
+	}
+	b := n.CPU.Breakdown()
+	if b.IdlePct < 70 || b.IdlePct > 88 {
+		t.Errorf("idle = %.1f%%, want ~80%%", b.IdlePct)
+	}
+	if n.Server.DropRate() > 0.001 {
+		t.Errorf("standalone dropped %.2f%% queries", 100*n.Server.DropRate())
+	}
+}
+
+func TestStandaloneProfile4000(t *testing.T) {
+	n := runStandalone(t, 4000, 24000)
+	sum := n.Server.Latency.Summary()
+	t.Logf("standalone 4000 QPS: %v", sum)
+	t.Logf("breakdown: %v", n.CPU.Breakdown())
+	// Paper: same latency profile; CPU ~40% busy (60% idle).
+	if sum.P50Ms < 3.0 || sum.P50Ms > 6.0 {
+		t.Errorf("P50 = %.2f ms, want ~4", sum.P50Ms)
+	}
+	if sum.P99Ms < 9.0 || sum.P99Ms > 16.0 {
+		t.Errorf("P99 = %.2f ms, want ~12", sum.P99Ms)
+	}
+	b := n.CPU.Breakdown()
+	if b.IdlePct < 50 || b.IdlePct > 70 {
+		t.Errorf("idle = %.1f%%, want ~60%%", b.IdlePct)
+	}
+	if n.Server.DropRate() > 0.001 {
+		t.Errorf("standalone dropped %.2f%% queries", 100*n.Server.DropRate())
+	}
+}
+
+func TestMeasurementResetExcludesWarmup(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, DefaultConfig())
+	trace := workload.GenerateTrace(workload.TraceConfig{Queries: 2000, Rate: 2000, Seed: 1})
+	n.ReplayTrace(trace, 1000)
+	drain(eng, trace)
+	total := n.Server.Completed + n.Server.Dropped
+	if total >= 2000 || total < 900 {
+		t.Fatalf("measured %d queries; warmup not excluded (want ~1000)", total)
+	}
+}
+
+func TestNodeWithoutDisks(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.DisableDisks = true
+	n := New(eng, cfg)
+	if n.SSD != nil || n.HDD != nil {
+		t.Fatal("disks created despite DisableDisks")
+	}
+	trace := workload.GenerateTrace(workload.TraceConfig{Queries: 500, Rate: 2000, Seed: 1})
+	n.ReplayTrace(trace, 0)
+	drain(eng, trace)
+	if n.Server.Completed != 500 {
+		t.Fatalf("completed = %d/500 without disks", n.Server.Completed)
+	}
+}

@@ -1,0 +1,234 @@
+// Package osmodel is the operating-system facade of a simulated server:
+// it groups tenant processes into Job Objects (the Windows abstraction
+// PerfIso configures, §4), and exposes the black-box monitoring surface
+// the controller polls — the idle-core bitmask system call, per-process
+// CPU time, per-volume per-process I/O statistics, and memory usage.
+//
+// PerfIso never reaches below this interface: that is the paper's
+// "treat the primary and the OS as a black box" constraint.
+package osmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"perfiso/internal/cpumodel"
+	"perfiso/internal/diskmodel"
+	"perfiso/internal/memmodel"
+	"perfiso/internal/netmodel"
+	"perfiso/internal/sim"
+)
+
+// Job is a named group of processes controlled as a unit, mirroring a
+// Windows Job Object: CPU affinity, CPU rate (cycle) caps, memory limits
+// and kill apply to every member process.
+type Job struct {
+	Name string
+
+	os      *OS
+	procs   []*cpumodel.Process
+	members map[string]bool // process names, for I/O and memory scoping
+
+	affinity cpumodel.CPUSet
+	capFrac  float64
+	capWin   sim.Duration
+	memLimit int64
+	killed   bool
+}
+
+// OS owns a machine's hardware models and its job table.
+type OS struct {
+	eng *sim.Engine
+
+	CPU     *cpumodel.Machine
+	Volumes map[string]*diskmodel.Volume
+	Memory  *memmodel.Tracker
+	NIC     *netmodel.NIC
+
+	jobs map[string]*Job
+}
+
+// New assembles an OS over the given hardware models. Volumes and NIC
+// may be nil for CPU-only experiments.
+func New(eng *sim.Engine, cpu *cpumodel.Machine, vols []*diskmodel.Volume, mem *memmodel.Tracker, nic *netmodel.NIC) *OS {
+	o := &OS{
+		eng:     eng,
+		CPU:     cpu,
+		Volumes: map[string]*diskmodel.Volume{},
+		Memory:  mem,
+		NIC:     nic,
+		jobs:    map[string]*Job{},
+	}
+	for _, v := range vols {
+		o.Volumes[v.Name()] = v
+	}
+	return o
+}
+
+// Engine returns the driving event engine.
+func (o *OS) Engine() *sim.Engine { return o.eng }
+
+// Now returns the current virtual time.
+func (o *OS) Now() sim.Time { return o.eng.Now() }
+
+// Cores reports the machine's logical core count.
+func (o *OS) Cores() int { return o.CPU.Cores() }
+
+// IdleCoreMask is the idle-core system call of §3.1.1: a bitmask with
+// the idle CPUs' bits set. It is the only signal CPU blind isolation
+// consumes.
+func (o *OS) IdleCoreMask() cpumodel.CPUSet { return o.CPU.IdleMask() }
+
+// IdleCores reports the popcount of IdleCoreMask.
+func (o *OS) IdleCores() int { return o.CPU.IdleCount() }
+
+// CreateJob registers an empty job. Creating an existing name panics:
+// job identity mistakes would silently cross tenant boundaries.
+func (o *OS) CreateJob(name string) *Job {
+	if _, dup := o.jobs[name]; dup {
+		panic(fmt.Sprintf("osmodel: duplicate job %q", name))
+	}
+	j := &Job{
+		Name:     name,
+		os:       o,
+		members:  map[string]bool{},
+		affinity: cpumodel.AllCores(o.Cores()),
+	}
+	o.jobs[name] = j
+	return j
+}
+
+// Job looks up a job by name (nil when absent).
+func (o *OS) Job(name string) *Job { return o.jobs[name] }
+
+// Jobs lists job names, sorted.
+func (o *OS) Jobs() []string {
+	out := make([]string, 0, len(o.jobs))
+	for n := range o.jobs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Assign places a process into the job, applying the job's current CPU
+// knobs to it immediately (as Autopilot-managed secondary tenants are
+// wrapped on arrival, §4).
+func (j *Job) Assign(p *cpumodel.Process) {
+	if j.killed {
+		j.os.CPU.Kill(p)
+		return
+	}
+	j.procs = append(j.procs, p)
+	j.members[p.Name] = true
+	j.os.CPU.SetAffinity(p, j.affinity)
+	if j.capFrac > 0 {
+		j.os.CPU.SetCycleCap(p, j.capFrac, j.capWin)
+	}
+}
+
+// Contains reports whether procName belongs to the job.
+func (j *Job) Contains(procName string) bool { return j.members[procName] }
+
+// Procs returns the member processes.
+func (j *Job) Procs() []*cpumodel.Process { return j.procs }
+
+// SetAffinity restricts every member process to mask.
+func (j *Job) SetAffinity(mask cpumodel.CPUSet) {
+	j.affinity = mask
+	for _, p := range j.procs {
+		j.os.CPU.SetAffinity(p, mask)
+	}
+}
+
+// Affinity reports the job's CPU mask.
+func (j *Job) Affinity() cpumodel.CPUSet { return j.affinity }
+
+// SetCycleCap applies windowed CPU rate control to every member.
+func (j *Job) SetCycleCap(frac float64, window sim.Duration) {
+	j.capFrac, j.capWin = frac, window
+	for _, p := range j.procs {
+		j.os.CPU.SetCycleCap(p, frac, window)
+	}
+}
+
+// SetMemoryLimit caps the summed footprint of member processes; the
+// memory guard polls JobMemory against it.
+func (j *Job) SetMemoryLimit(bytes int64) { j.memLimit = bytes }
+
+// MemoryLimit reports the cap (0 = none).
+func (j *Job) MemoryLimit() int64 { return j.memLimit }
+
+// CPUTime reports the job's total consumed CPU time.
+func (j *Job) CPUTime() sim.Duration {
+	var sum sim.Duration
+	for _, p := range j.procs {
+		sum += p.CPUTime()
+	}
+	return sum
+}
+
+// Memory reports the job's current summed footprint.
+func (j *Job) Memory() int64 {
+	if j.os.Memory == nil {
+		return 0
+	}
+	var sum int64
+	for name := range j.members {
+		sum += j.os.Memory.Usage(name)
+	}
+	return sum
+}
+
+// Kill terminates every member process and marks the job dead; later
+// Assign calls kill the incoming process (PerfIso's memory guard relies
+// on this to stop runaway secondaries, §3.2).
+func (j *Job) Kill() {
+	j.killed = true
+	for _, p := range j.procs {
+		j.os.CPU.Kill(p)
+		if j.os.Memory != nil {
+			j.os.Memory.Release(p.Name)
+		}
+	}
+}
+
+// Killed reports whether the job has been killed.
+func (j *Job) Killed() bool { return j.killed }
+
+// VolumeStats reports per-process I/O statistics on a volume; ok is
+// false for unknown volumes.
+func (o *OS) VolumeStats(volume, proc string) (diskmodel.ProcIOStats, bool) {
+	v, ok := o.Volumes[volume]
+	if !ok {
+		return diskmodel.ProcIOStats{}, false
+	}
+	return v.Stats(proc), true
+}
+
+// SetIORate applies byte/op rate caps for proc on volume.
+func (o *OS) SetIORate(volume, proc string, bytesPerSec, opsPerSec float64) error {
+	v, ok := o.Volumes[volume]
+	if !ok {
+		return fmt.Errorf("osmodel: unknown volume %q", volume)
+	}
+	v.SetRateLimit(proc, bytesPerSec, opsPerSec)
+	return nil
+}
+
+// SetIOPriority adjusts proc's service priority on volume.
+func (o *OS) SetIOPriority(volume, proc string, prio int) error {
+	v, ok := o.Volumes[volume]
+	if !ok {
+		return fmt.Errorf("osmodel: unknown volume %q", volume)
+	}
+	v.SetPriority(proc, prio)
+	return nil
+}
+
+// SetEgressRate caps low-priority (secondary) egress bandwidth.
+func (o *OS) SetEgressRate(bytesPerSec float64) {
+	if o.NIC != nil {
+		o.NIC.SetLowPriorityRate(bytesPerSec)
+	}
+}

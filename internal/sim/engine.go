@@ -1,0 +1,175 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an event heap, and seeded random-number utilities.
+//
+// All PerfIso models (CPU, disk, network, tenants, the controller itself)
+// are driven by a single Engine so that every experiment is reproducible
+// bit-for-bit from its seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It mirrors
+// time.Duration's representation so the usual constants read naturally.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Seconds reports d as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds reports d as floating-point milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+func (t Time) String() string     { return fmt.Sprintf("t+%.6fs", t.Seconds()) }
+func (d Duration) String() string { return fmt.Sprintf("%.6fs", d.Seconds()) }
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// earlier at the same timestamp run first (stable FIFO ordering).
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	// executed counts dispatched events, exposed for tests and stats.
+	executed uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have been dispatched so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are currently queued.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug, and silently reordering time would corrupt
+// every downstream measurement.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d panics via At.
+func (e *Engine) After(d Duration, fn func()) { e.At(e.now.Add(d), fn) }
+
+// Step dispatches the next event. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Run dispatches events until the queue is empty or the next event lies
+// beyond until; the clock is then advanced to until. It returns the number
+// of events dispatched.
+func (e *Engine) Run(until Time) uint64 {
+	start := e.executed
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].at > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	e.stopped = false
+	return e.executed - start
+}
+
+// RunAll dispatches every remaining event.
+func (e *Engine) RunAll() uint64 {
+	start := e.executed
+	for e.Step() {
+		if e.stopped {
+			e.stopped = false
+			break
+		}
+	}
+	return e.executed - start
+}
+
+// Stop makes the current Run/RunAll call return after the in-flight event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Ticker invokes fn every period until it returns false. The first call
+// happens one period from now.
+func (e *Engine) Ticker(period Duration, fn func() bool) {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.After(period, tick)
+		}
+	}
+	e.After(period, tick)
+}

@@ -1,0 +1,117 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64). It is not safe for concurrent use; each model component
+// derives its own stream with Split so event ordering never perturbs the
+// random sequence of unrelated components.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Split derives an independent stream from r, keyed by label.
+func (r *RNG) Split(label uint64) *RNG {
+	// Mix the label through one splitmix round of a forked state.
+	forked := r.Uint64() ^ (label * 0x9e3779b97f4a7c15)
+	return &RNG{state: forked}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// IntBetween returns a uniform value in [lo, hi] inclusive.
+func (r *RNG) IntBetween(lo, hi int) int {
+	if hi < lo {
+		panic("sim: IntBetween with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// ExpDuration returns an exponentially distributed duration with mean m.
+func (r *RNG) ExpDuration(m Duration) Duration {
+	return Duration(r.Exp(float64(m)))
+}
+
+// Norm returns a normally distributed value (Box-Muller).
+func (r *RNG) Norm(mu, sigma float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return mu + sigma*math.Sqrt(-2*math.Log(u1))*math.Cos(2*math.Pi*u2)
+}
+
+// LogNormal returns a log-normally distributed value where median is the
+// distribution median (exp(mu)) and sigma the shape parameter.
+func (r *RNG) LogNormal(median, sigma float64) float64 {
+	return median * math.Exp(r.Norm(0, sigma))
+}
+
+// LogNormalDuration returns a log-normal duration with the given median.
+func (r *RNG) LogNormalDuration(median Duration, sigma float64) Duration {
+	return Duration(r.LogNormal(float64(median), sigma))
+}
+
+// Poisson returns a Poisson-distributed count with the given mean
+// (Knuth's method; fine for the small means used here).
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Perm fills a permutation of [0, n) using Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"perfiso/internal/sim"
+)
+
+// Class labels CPU time by who consumed it, matching the utilization
+// breakdown in Figs. 4b-7b of the paper.
+type Class int
+
+const (
+	ClassIdle Class = iota
+	ClassPrimary
+	ClassSecondary
+	ClassOS
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassIdle:
+		return "idle"
+	case ClassPrimary:
+		return "primary"
+	case ClassSecondary:
+		return "secondary"
+	case ClassOS:
+		return "os"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// CPUAccounting accumulates per-class core time. One instance covers a
+// whole machine; every core reports its intervals here.
+type CPUAccounting struct {
+	classTime [numClasses]sim.Duration
+	start     sim.Time
+	cores     int
+}
+
+// NewCPUAccounting starts accounting for a machine with the given core
+// count at time start.
+func NewCPUAccounting(cores int, start sim.Time) *CPUAccounting {
+	return &CPUAccounting{start: start, cores: cores}
+}
+
+// Accumulate credits d of core time to class c.
+func (a *CPUAccounting) Accumulate(c Class, d sim.Duration) {
+	if d < 0 {
+		panic("stats: negative accumulation")
+	}
+	a.classTime[c] += d
+}
+
+// Class reports the total core time credited to c.
+func (a *CPUAccounting) Class(c Class) sim.Duration { return a.classTime[c] }
+
+// Total reports the total credited core time across classes.
+func (a *CPUAccounting) Total() sim.Duration {
+	var t sim.Duration
+	for _, d := range a.classTime {
+		t += d
+	}
+	return t
+}
+
+// Capacity reports cores × elapsed time at now: the figure every class
+// share is measured against.
+func (a *CPUAccounting) Capacity(now sim.Time) sim.Duration {
+	return sim.Duration(a.cores) * now.Sub(a.start)
+}
+
+// Utilization reports the fraction of machine capacity consumed by class c
+// over [start, now], in [0, 1].
+func (a *CPUAccounting) Utilization(c Class, now sim.Time) float64 {
+	cap := a.Capacity(now)
+	if cap <= 0 {
+		return 0
+	}
+	return float64(a.classTime[c]) / float64(cap)
+}
+
+// Breakdown reports the per-class utilization shares at now, as
+// percentages, in class order (idle, primary, secondary, os).
+type Breakdown struct {
+	IdlePct      float64
+	PrimaryPct   float64
+	SecondaryPct float64
+	OSPct        float64
+}
+
+func (a *CPUAccounting) Breakdown(now sim.Time) Breakdown {
+	return Breakdown{
+		IdlePct:      100 * a.Utilization(ClassIdle, now),
+		PrimaryPct:   100 * a.Utilization(ClassPrimary, now),
+		SecondaryPct: 100 * a.Utilization(ClassSecondary, now),
+		OSPct:        100 * a.Utilization(ClassOS, now),
+	}
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("primary=%.1f%% secondary=%.1f%% os=%.1f%% idle=%.1f%%",
+		b.PrimaryPct, b.SecondaryPct, b.OSPct, b.IdlePct)
+}
+
+// UsedPct reports total non-idle utilization.
+func (b Breakdown) UsedPct() float64 { return b.PrimaryPct + b.SecondaryPct + b.OSPct }
+
+// MovingAverage is a fixed-window moving average over periodically
+// sampled values, as used by the DWRR IOPS smoother (§4.1).
+type MovingAverage struct {
+	window []float64
+	size   int
+	next   int
+	filled int
+	sum    float64
+}
+
+// NewMovingAverage returns an average over the last size samples.
+func NewMovingAverage(size int) *MovingAverage {
+	if size <= 0 {
+		panic("stats: non-positive moving-average window")
+	}
+	return &MovingAverage{window: make([]float64, size), size: size}
+}
+
+// Add inserts a sample, evicting the oldest when full.
+func (m *MovingAverage) Add(v float64) {
+	if m.filled == m.size {
+		m.sum -= m.window[m.next]
+	} else {
+		m.filled++
+	}
+	m.window[m.next] = v
+	m.sum += v
+	m.next = (m.next + 1) % m.size
+}
+
+// Value reports the current average, or 0 with no samples.
+func (m *MovingAverage) Value() float64 {
+	if m.filled == 0 {
+		return 0
+	}
+	return m.sum / float64(m.filled)
+}
+
+// Filled reports how many samples the window currently holds.
+func (m *MovingAverage) Filled() int { return m.filled }
+
+// Counter is a labeled monotonic counter set.
+type Counter struct {
+	counts map[string]uint64
+}
+
+// NewCounter returns an empty counter set.
+func NewCounter() *Counter { return &Counter{counts: map[string]uint64{}} }
+
+// Inc adds n to label.
+func (c *Counter) Inc(label string, n uint64) { c.counts[label] += n }
+
+// Get reads label's value.
+func (c *Counter) Get(label string) uint64 { return c.counts[label] }
+
+// Labels returns the sorted label set.
+func (c *Counter) Labels() []string {
+	out := make([]string, 0, len(c.counts))
+	for l := range c.counts {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TimeSeries collects (time, value) samples for plotting-style outputs
+// such as Fig. 10 (QPS, P99 and utilization over one hour).
+type TimeSeries struct {
+	Times  []sim.Time
+	Values []float64
+}
+
+// Add appends a sample.
+func (ts *TimeSeries) Add(t sim.Time, v float64) {
+	ts.Times = append(ts.Times, t)
+	ts.Values = append(ts.Values, v)
+}
+
+// Len reports the number of samples.
+func (ts *TimeSeries) Len() int { return len(ts.Values) }
+
+// Mean reports the unweighted mean of the values, or 0 when empty.
+func (ts *TimeSeries) Mean() float64 {
+	if len(ts.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range ts.Values {
+		sum += v
+	}
+	return sum / float64(len(ts.Values))
+}
+
+// Max reports the maximum value, or 0 when empty.
+func (ts *TimeSeries) Max() float64 {
+	if len(ts.Values) == 0 {
+		return 0
+	}
+	max := ts.Values[0]
+	for _, v := range ts.Values[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Min reports the minimum value, or 0 when empty.
+func (ts *TimeSeries) Min() float64 {
+	if len(ts.Values) == 0 {
+		return 0
+	}
+	min := ts.Values[0]
+	for _, v := range ts.Values[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}

@@ -1,0 +1,41 @@
+package stats
+
+import (
+	"testing"
+
+	"perfiso/internal/sim"
+)
+
+// BenchmarkHistogramAdd measures the per-query recording cost — it sits
+// on the completion path of every simulated query.
+func BenchmarkHistogramAdd(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.AddDuration(sim.Duration(i%20+1) * sim.Millisecond)
+	}
+}
+
+// BenchmarkHistogramQuantile measures tail extraction over a populated
+// histogram.
+func BenchmarkHistogramQuantile(b *testing.B) {
+	h := NewHistogram()
+	r := sim.NewRNG(7)
+	for i := 0; i < 100000; i++ {
+		h.Add(r.LogNormal(4e6, 0.5))
+	}
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += h.P99()
+	}
+	_ = acc
+}
+
+// BenchmarkAccountingAccumulate measures the per-accrual cost charged on
+// every scheduling event.
+func BenchmarkAccountingAccumulate(b *testing.B) {
+	a := NewCPUAccounting(48, 0)
+	for i := 0; i < b.N; i++ {
+		a.Accumulate(ClassPrimary, sim.Microsecond)
+	}
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"perfiso/internal/sim"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.P99() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Add(4e6) // 4ms in ns
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); math.Abs(got-4e6)/4e6 > 0.02 {
+			t.Fatalf("Quantile(%v) = %v, want ~4e6", q, got)
+		}
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	r := sim.NewRNG(1)
+	samples := make([]float64, 0, 100000)
+	for i := 0; i < 100000; i++ {
+		v := r.LogNormal(4e6, 0.5)
+		h.Add(v)
+		samples = append(samples, v)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := ExactPercentile(samples, q)
+		got := h.Quantile(q)
+		if math.Abs(got-exact)/exact > 0.03 {
+			t.Fatalf("Quantile(%v) = %v, exact = %v (err > 3%%)", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	// Property: quantiles are non-decreasing in q for any sample set.
+	f := func(raw []uint32) bool {
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Add(float64(v))
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	// Property: every quantile lies within [min, max].
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Add(float64(v))
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < h.Min() || v > h.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b, both := NewHistogram(), NewHistogram(), NewHistogram()
+	r := sim.NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		v := r.LogNormal(1e6, 1.0)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		both.Add(v)
+	}
+	a.Merge(b)
+	if a.Count() != both.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), both.Count())
+	}
+	if math.Abs(a.P99()-both.P99())/both.P99() > 0.001 {
+		t.Fatalf("merged P99 = %v, want %v", a.P99(), both.P99())
+	}
+	if a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Fatal("merged extremes differ")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Add(5)
+	h.Reset()
+	if h.Count() != 0 || h.P99() != 0 {
+		t.Fatal("reset histogram not empty")
+	}
+	h.Add(7)
+	if h.Count() != 1 {
+		t.Fatal("histogram unusable after reset")
+	}
+}
+
+func TestHistogramNegativeClamp(t *testing.T) {
+	h := NewHistogram()
+	h.Add(-3)
+	if h.Min() != 0 {
+		t.Fatalf("negative value not clamped: min=%v", h.Min())
+	}
+}
+
+func TestSummaryMilliseconds(t *testing.T) {
+	h := NewHistogram()
+	h.AddDuration(4 * sim.Millisecond)
+	h.AddDuration(12 * sim.Millisecond)
+	s := h.Summary()
+	if s.Count != 2 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.MeanMs-8.0) > 0.01 {
+		t.Fatalf("mean = %v ms, want 8", s.MeanMs)
+	}
+	if s.MaxMs < 11.9 || s.MaxMs > 12.1 {
+		t.Fatalf("max = %v ms, want ~12", s.MaxMs)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestExactPercentile(t *testing.T) {
+	s := []float64{5, 1, 4, 2, 3}
+	if got := ExactPercentile(s, 0.5); got != 3 {
+		t.Fatalf("median = %v, want 3", got)
+	}
+	if got := ExactPercentile(s, 0.99); got != 5 {
+		t.Fatalf("p99 = %v, want 5", got)
+	}
+	if got := ExactPercentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+	// Input must not be reordered.
+	if s[0] != 5 || s[4] != 3 {
+		t.Fatal("ExactPercentile mutated its input")
+	}
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"perfiso/internal/cpumodel"
+	"perfiso/internal/diskmodel"
+	"perfiso/internal/sim"
+	"perfiso/internal/stats"
+)
+
+// CPUBully is the paper's secondary micro-benchmark (§5.3): a
+// multi-threaded program whose worker threads sum integers forever,
+// maximizing CPU use with essentially no memory or storage traffic.
+// "Mid" mode runs 24 workers, "high" runs 48 (one per logical core).
+type CPUBully struct {
+	Proc    *cpumodel.Process
+	m       *cpumodel.Machine
+	threads int
+}
+
+// NewCPUBully creates the bully's process with the given worker count;
+// Start launches the workers.
+func NewCPUBully(m *cpumodel.Machine, name string, threads int) *CPUBully {
+	if threads <= 0 {
+		panic("workload: bully needs at least one thread")
+	}
+	return &CPUBully{
+		Proc:    m.NewProcess(name, stats.ClassSecondary),
+		m:       m,
+		threads: threads,
+	}
+}
+
+// Start spawns the always-runnable workers.
+func (b *CPUBully) Start() {
+	all := cpumodel.AllCores(b.m.Cores())
+	for i := 0; i < b.threads; i++ {
+		b.m.Spawn(b.Proc, cpumodel.Forever, all, nil)
+	}
+}
+
+// Threads reports the configured worker count.
+func (b *CPUBully) Threads() int { return b.threads }
+
+// Progress reports the bully's absolute progress. The real bully counts
+// completed integer additions; with a fixed per-addition cost that is
+// proportional to consumed CPU time, so CPU seconds is the progress
+// unit (Fig. 8c).
+func (b *CPUBully) Progress() float64 { return b.Proc.CPUTime().Seconds() }
+
+// DiskBullyConfig parameterizes the DiskSPD-style I/O generator of
+// §5.3: mixed 33% read / 67% write, sequential, synchronous operations.
+type DiskBullyConfig struct {
+	ProcName    string
+	ChunkBytes  int64 // 8 KB in the paper's throttling experiments
+	Outstanding int   // concurrent synchronous workers
+	ReadFrac    float64
+	Seed        uint64
+}
+
+// DefaultDiskBullyConfig mirrors §5.3.
+func DefaultDiskBullyConfig() DiskBullyConfig {
+	return DiskBullyConfig{
+		ProcName:    "diskbully",
+		ChunkBytes:  8 << 10,
+		Outstanding: 8,
+		ReadFrac:    0.33,
+		Seed:        1,
+	}
+}
+
+// DiskBully issues a continuous synchronous I/O stream at the given
+// volume: each worker submits one operation and submits the next upon
+// completion.
+type DiskBully struct {
+	cfg     DiskBullyConfig
+	vol     *diskmodel.Volume
+	rng     *sim.RNG
+	stopped bool
+	// Ops counts completed operations.
+	Ops uint64
+}
+
+// NewDiskBully builds a bully against vol.
+func NewDiskBully(vol *diskmodel.Volume, cfg DiskBullyConfig) *DiskBully {
+	if cfg.Outstanding <= 0 || cfg.ChunkBytes <= 0 {
+		panic("workload: invalid disk bully config")
+	}
+	return &DiskBully{cfg: cfg, vol: vol, rng: sim.NewRNG(cfg.Seed)}
+}
+
+// Start launches the workers.
+func (d *DiskBully) Start() {
+	for i := 0; i < d.cfg.Outstanding; i++ {
+		d.issue()
+	}
+}
+
+// Stop ends the stream after in-flight operations complete.
+func (d *DiskBully) Stop() { d.stopped = true }
+
+func (d *DiskBully) issue() {
+	if d.stopped {
+		return
+	}
+	kind := diskmodel.OpWrite
+	if d.rng.Float64() < d.cfg.ReadFrac {
+		kind = diskmodel.OpRead
+	}
+	d.vol.Submit(&diskmodel.Request{
+		Proc:       d.cfg.ProcName,
+		Kind:       kind,
+		Bytes:      d.cfg.ChunkBytes,
+		Sequential: true,
+		OnComplete: func() {
+			d.Ops++
+			d.issue()
+		},
+	})
+}
+
+// BackgroundCPU keeps a process at a target fraction of machine CPU by
+// spawning short periodic bursts: it models OS housekeeping (~2%) and
+// the HDFS client's CPU share (~5%, §6.2). Bursts are spread over cores
+// by the scheduler's normal placement.
+type BackgroundCPU struct {
+	Proc *cpumodel.Process
+	m    *cpumodel.Machine
+	// Fraction of total machine CPU to consume.
+	Fraction float64
+	// Period between burst volleys.
+	Period sim.Duration
+	// Streams is the number of parallel bursts per volley.
+	Streams int
+
+	stopped bool
+}
+
+// NewBackgroundCPU builds the load generator; call Start to begin.
+func NewBackgroundCPU(m *cpumodel.Machine, name string, class stats.Class, fraction float64) *BackgroundCPU {
+	if fraction <= 0 || fraction >= 1 {
+		panic("workload: background fraction must be in (0,1)")
+	}
+	return &BackgroundCPU{
+		Proc:     m.NewProcess(name, class),
+		m:        m,
+		Fraction: fraction,
+		Period:   4 * sim.Millisecond,
+		Streams:  4,
+	}
+}
+
+// Start begins the periodic volleys.
+func (b *BackgroundCPU) Start() {
+	burst := sim.Duration(b.Fraction * float64(b.m.Cores()) * float64(b.Period) / float64(b.Streams))
+	if burst <= 0 {
+		panic("workload: background burst rounds to zero")
+	}
+	all := cpumodel.AllCores(b.m.Cores())
+	b.m.Engine().Ticker(b.Period, func() bool {
+		if b.stopped {
+			return false
+		}
+		for i := 0; i < b.Streams; i++ {
+			b.m.Spawn(b.Proc, burst, all, nil)
+		}
+		return true
+	})
+}
+
+// Stop ends the volleys (in-flight bursts still finish).
+func (b *BackgroundCPU) Stop() { b.stopped = true }

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+
+	"perfiso/internal/cpumodel"
+	"perfiso/internal/diskmodel"
+	"perfiso/internal/netmodel"
+	"perfiso/internal/sim"
+)
+
+func hdfsFixture(t *testing.T) (*sim.Engine, *diskmodel.Volume, *netmodel.NIC, *cpumodel.Machine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	hdd := diskmodel.NewVolume(eng, diskmodel.HDDStripeConfig())
+	nic := netmodel.NewNIC(eng, netmodel.TenGbE())
+	cpu := cpumodel.New(eng, sim.NewRNG(2), cpumodel.DefaultConfig())
+	return eng, hdd, nic, cpu
+}
+
+func TestHDFSFlowsRun(t *testing.T) {
+	eng, hdd, nic, cpu := hdfsFixture(t)
+	h := NewHDFS(eng, hdd, nic, cpu, DefaultHDFSConfig())
+	h.Start()
+	eng.Run(sim.Time(5 * sim.Second))
+
+	if h.ClientOps == 0 || h.ReplicationOps == 0 {
+		t.Fatalf("flows idle: client=%d repl=%d", h.ClientOps, h.ReplicationOps)
+	}
+	// Replication egress reaches the wire at low priority.
+	if h.ReplicatedBytes == 0 {
+		t.Fatal("no replication egress")
+	}
+	if nic.ClassBytes(netmodel.PriorityLow) != h.ReplicatedBytes {
+		t.Fatalf("NIC low-priority bytes %d != replicated %d",
+			nic.ClassBytes(netmodel.PriorityLow), h.ReplicatedBytes)
+	}
+	// The CPU component holds its small share.
+	cpu.AccrueAll()
+	if sec := cpu.Breakdown().SecondaryPct; sec < 1 || sec > 8 {
+		t.Fatalf("HDFS CPU share = %.1f%%, want a few percent", sec)
+	}
+	// Both flows accounted per process on the volume.
+	if hdd.Stats("hdfs-client").Ops == 0 || hdd.Stats("hdfs-replication").Ops == 0 {
+		t.Fatal("volume accounting missing a flow")
+	}
+}
+
+func TestHDFSRespectsVolumeCaps(t *testing.T) {
+	eng, hdd, nic, cpu := hdfsFixture(t)
+	h := NewHDFS(eng, hdd, nic, cpu, DefaultHDFSConfig())
+	// The §5.3 PerfIso caps: replication 20 MB/s, client 60 MB/s.
+	hdd.SetRateLimit("hdfs-replication", 20<<20, 0)
+	hdd.SetRateLimit("hdfs-client", 60<<20, 0)
+	h.Start()
+	eng.Run(sim.Time(10 * sim.Second))
+
+	replRate := float64(hdd.Stats("hdfs-replication").Bytes) / 10
+	clientRate := float64(hdd.Stats("hdfs-client").Bytes) / 10
+	if replRate > 24<<20 {
+		t.Fatalf("replication rate = %.1f MB/s, want <= ~20", replRate/(1<<20))
+	}
+	if clientRate > 66<<20 {
+		t.Fatalf("client rate = %.1f MB/s, want <= ~60", clientRate/(1<<20))
+	}
+	if replRate < 10<<20 || clientRate < 30<<20 {
+		t.Fatalf("caps starved the flows: repl=%.1f client=%.1f MB/s",
+			replRate/(1<<20), clientRate/(1<<20))
+	}
+}
+
+func TestHDFSStop(t *testing.T) {
+	eng, hdd, nic, cpu := hdfsFixture(t)
+	h := NewHDFS(eng, hdd, nic, cpu, DefaultHDFSConfig())
+	h.Start()
+	eng.Run(sim.Time(1 * sim.Second))
+	h.Stop()
+	ops := h.ClientOps + h.ReplicationOps
+	eng.Run(sim.Time(4 * sim.Second))
+	after := h.ClientOps + h.ReplicationOps
+	// In-flight operations may complete; no new ones are issued.
+	if after > ops+4 {
+		t.Fatalf("HDFS kept issuing after Stop: %d -> %d", ops, after)
+	}
+}
+
+func TestHDFSNilComponents(t *testing.T) {
+	eng, hdd, _, _ := hdfsFixture(t)
+	h := NewHDFS(eng, hdd, nil, nil, DefaultHDFSConfig())
+	h.Start()
+	eng.Run(sim.Time(2 * sim.Second))
+	if h.ClientOps == 0 {
+		t.Fatal("client flow idle without NIC/CPU")
+	}
+	if h.ReplicatedBytes != 0 {
+		t.Fatal("egress counted without a NIC")
+	}
+}
+
+func TestHDFSInvalidConfigPanics(t *testing.T) {
+	eng, hdd, nic, cpu := hdfsFixture(t)
+	cfg := DefaultHDFSConfig()
+	cfg.ClientRate = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHDFS(eng, hdd, nic, cpu, cfg)
+}

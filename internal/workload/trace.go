@@ -1,0 +1,111 @@
+// Package workload generates the tenant workloads of the evaluation:
+// synthetic query traces replayed by a Poisson open-loop client (the
+// 500k-query trace of §5.3), the CPU bully micro-benchmark, the DiskSPD-
+// style disk bully, HDFS-like background flows, and low-level OS
+// housekeeping load.
+package workload
+
+import (
+	"perfiso/internal/sim"
+)
+
+// QuerySpec is one query of a trace: an arrival offset plus the seed
+// that makes its service demands reproducible wherever it is replayed.
+type QuerySpec struct {
+	ID      int
+	Arrival sim.Time
+	Seed    uint64
+}
+
+// TraceConfig parameterizes trace generation.
+type TraceConfig struct {
+	// Queries is the trace length (the paper uses 500k single-box,
+	// 200k cluster-wide).
+	Queries int
+	// Rate is the Poisson arrival rate in queries per second.
+	Rate float64
+	// Seed makes the trace reproducible.
+	Seed uint64
+	// Start offsets the first arrival.
+	Start sim.Time
+}
+
+// GenerateTrace produces an open-loop Poisson arrival trace: the client
+// sends queries at exponentially distributed inter-arrival times
+// regardless of completions, exactly like the paper's trace replayer.
+func GenerateTrace(cfg TraceConfig) []QuerySpec {
+	if cfg.Queries <= 0 {
+		return nil
+	}
+	if cfg.Rate <= 0 {
+		panic("workload: non-positive arrival rate")
+	}
+	r := sim.NewRNG(cfg.Seed)
+	meanGap := sim.Duration(float64(sim.Second) / cfg.Rate)
+	out := make([]QuerySpec, cfg.Queries)
+	at := cfg.Start
+	for i := range out {
+		at = at.Add(r.ExpDuration(meanGap))
+		out[i] = QuerySpec{ID: i, Arrival: at, Seed: r.Uint64()}
+	}
+	return out
+}
+
+// Client replays a trace against a submit function in an open loop.
+type Client struct {
+	eng    *sim.Engine
+	submit func(QuerySpec)
+	// Sent counts dispatched queries.
+	Sent int
+}
+
+// NewClient builds a replayer; submit is invoked at each arrival.
+func NewClient(eng *sim.Engine, submit func(QuerySpec)) *Client {
+	return &Client{eng: eng, submit: submit}
+}
+
+// Replay schedules every arrival of the trace.
+func (c *Client) Replay(trace []QuerySpec) {
+	for _, q := range trace {
+		q := q
+		c.eng.At(q.Arrival, func() {
+			c.Sent++
+			c.submit(q)
+		})
+	}
+}
+
+// GenerateCurvedTrace produces an open-loop trace whose instantaneous
+// rate follows rate(t) (queries/second as a function of seconds), e.g.
+// the diurnal curve of the Fig. 10 production run. Generation uses
+// thinning against the curve's maximum over the span.
+func GenerateCurvedTrace(duration sim.Duration, rate func(sec float64) float64, seed uint64) []QuerySpec {
+	if duration <= 0 {
+		panic("workload: non-positive trace duration")
+	}
+	// Find the peak rate to thin against.
+	peak := 0.0
+	for s := 0.0; s < duration.Seconds(); s += duration.Seconds() / 1000 {
+		if r := rate(s); r > peak {
+			peak = r
+		}
+	}
+	if peak <= 0 {
+		panic("workload: rate curve never positive")
+	}
+	r := sim.NewRNG(seed)
+	meanGap := sim.Duration(float64(sim.Second) / peak)
+	var out []QuerySpec
+	at := sim.Time(0)
+	for {
+		at = at.Add(r.ExpDuration(meanGap))
+		if at > sim.Time(duration) {
+			break
+		}
+		// Thin: accept with probability rate(t)/peak.
+		if r.Float64() <= rate(at.Seconds())/peak {
+			out = append(out, QuerySpec{ID: len(out), Arrival: at, Seed: r.Uint64()})
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"perfiso/internal/sim"
+)
+
+// Trace files store query traces in a compact binary format so the
+// evaluation's 500k-query traces can be generated once and replayed
+// across machines and runs, like the production trace of §5.3.
+//
+// Layout (little-endian):
+//
+//	magic   [4]byte  "PITR"
+//	version uint32   1
+//	count   uint64
+//	records count × { arrival int64 (ns), seed uint64 }
+//
+// Query IDs are positional and therefore not stored.
+
+var traceMagic = [4]byte{'P', 'I', 'T', 'R'}
+
+// traceVersion is the current trace-file format version.
+const traceVersion = 1
+
+// WriteTrace serializes a trace to w.
+func WriteTrace(w io.Writer, trace []QuerySpec) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return fmt.Errorf("workload: writing trace header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(traceVersion)); err != nil {
+		return fmt.Errorf("workload: writing trace version: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(trace))); err != nil {
+		return fmt.Errorf("workload: writing trace count: %w", err)
+	}
+	for i, q := range trace {
+		if err := binary.Write(bw, binary.LittleEndian, int64(q.Arrival)); err != nil {
+			return fmt.Errorf("workload: writing record %d: %w", i, err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, q.Seed); err != nil {
+			return fmt.Errorf("workload: writing record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a trace from r, validating the header and
+// monotonic arrival order.
+func ReadTrace(r io.Reader) ([]QuerySpec, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("workload: reading trace header: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("workload: not a trace file (magic %q)", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("workload: reading trace version: %w", err)
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("workload: unsupported trace version %d", version)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("workload: reading trace count: %w", err)
+	}
+	const maxTrace = 1 << 28 // 268M queries ≈ 4 GiB of records
+	if count > maxTrace {
+		return nil, fmt.Errorf("workload: trace count %d exceeds limit", count)
+	}
+	out := make([]QuerySpec, count)
+	var prev sim.Time
+	for i := range out {
+		var arrival int64
+		var seed uint64
+		if err := binary.Read(br, binary.LittleEndian, &arrival); err != nil {
+			return nil, fmt.Errorf("workload: reading record %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &seed); err != nil {
+			return nil, fmt.Errorf("workload: reading record %d: %w", i, err)
+		}
+		at := sim.Time(arrival)
+		if at < prev {
+			return nil, fmt.Errorf("workload: record %d arrival %v before previous %v", i, at, prev)
+		}
+		prev = at
+		out[i] = QuerySpec{ID: i, Arrival: at, Seed: seed}
+	}
+	return out, nil
+}
+
+// TraceStats summarizes a trace for inspection tooling.
+type TraceStats struct {
+	Queries  int
+	Span     sim.Duration
+	MeanRate float64 // queries per second
+	MinGap   sim.Duration
+	MaxGap   sim.Duration
+}
+
+// Stats computes summary statistics of a trace.
+func Stats(trace []QuerySpec) TraceStats {
+	st := TraceStats{Queries: len(trace)}
+	if len(trace) == 0 {
+		return st
+	}
+	st.Span = trace[len(trace)-1].Arrival.Sub(trace[0].Arrival)
+	if st.Span > 0 {
+		st.MeanRate = float64(len(trace)-1) / st.Span.Seconds()
+	}
+	st.MinGap = sim.Duration(1) << 62
+	for i := 1; i < len(trace); i++ {
+		gap := trace[i].Arrival.Sub(trace[i-1].Arrival)
+		if gap < st.MinGap {
+			st.MinGap = gap
+		}
+		if gap > st.MaxGap {
+			st.MaxGap = gap
+		}
+	}
+	if len(trace) == 1 {
+		st.MinGap = 0
+	}
+	return st
+}

@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"perfiso/internal/cpumodel"
+	"perfiso/internal/diskmodel"
+	"perfiso/internal/sim"
+	"perfiso/internal/stats"
+)
+
+func TestGenerateTraceRate(t *testing.T) {
+	trace := GenerateTrace(TraceConfig{Queries: 20000, Rate: 2000, Seed: 1})
+	if len(trace) != 20000 {
+		t.Fatalf("trace length = %d", len(trace))
+	}
+	// Mean arrival rate ≈ 2000 QPS.
+	span := trace[len(trace)-1].Arrival.Seconds()
+	rate := float64(len(trace)) / span
+	if math.Abs(rate-2000)/2000 > 0.05 {
+		t.Fatalf("empirical rate = %.1f, want ~2000", rate)
+	}
+	// Arrivals strictly ordered, IDs sequential.
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Arrival < trace[i-1].Arrival {
+			t.Fatal("arrivals not monotonic")
+		}
+		if trace[i].ID != i {
+			t.Fatal("IDs not sequential")
+		}
+	}
+}
+
+func TestGenerateTraceDeterminism(t *testing.T) {
+	a := GenerateTrace(TraceConfig{Queries: 100, Rate: 1000, Seed: 7})
+	b := GenerateTrace(TraceConfig{Queries: 100, Rate: 1000, Seed: 7})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+	c := GenerateTrace(TraceConfig{Queries: 100, Rate: 1000, Seed: 8})
+	if a[0] == c[0] {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateTraceEdgeCases(t *testing.T) {
+	if GenerateTrace(TraceConfig{Queries: 0, Rate: 100}) != nil {
+		t.Fatal("empty trace not nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate did not panic")
+		}
+	}()
+	GenerateTrace(TraceConfig{Queries: 1, Rate: 0})
+}
+
+func TestClientReplay(t *testing.T) {
+	eng := sim.NewEngine()
+	var got []int
+	c := NewClient(eng, func(q QuerySpec) { got = append(got, q.ID) })
+	trace := GenerateTrace(TraceConfig{Queries: 50, Rate: 5000, Seed: 3})
+	c.Replay(trace)
+	eng.RunAll()
+	if c.Sent != 50 || len(got) != 50 {
+		t.Fatalf("sent = %d, delivered = %d", c.Sent, len(got))
+	}
+	for i, id := range got {
+		if id != i {
+			t.Fatal("delivery order != arrival order")
+		}
+	}
+}
+
+func TestCPUBullySaturates(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := cpumodel.DefaultConfig()
+	cfg.Cores = 8
+	m := cpumodel.New(eng, sim.NewRNG(1), cfg)
+	b := NewCPUBully(m, "bully", 8)
+	b.Start()
+	eng.Run(sim.Time(sim.Second))
+	if m.IdleCount() != 0 {
+		t.Fatalf("idle = %d under full-width bully", m.IdleCount())
+	}
+	// Progress ≈ 8 core-seconds.
+	if p := b.Progress(); math.Abs(p-8.0) > 0.01 {
+		t.Fatalf("progress = %v core-s, want 8", p)
+	}
+	if b.Threads() != 8 {
+		t.Fatal("thread count wrong")
+	}
+}
+
+func TestCPUBullyRestrictedProgress(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := cpumodel.DefaultConfig()
+	cfg.Cores = 8
+	m := cpumodel.New(eng, sim.NewRNG(1), cfg)
+	b := NewCPUBully(m, "bully", 8)
+	b.Start()
+	m.SetAffinity(b.Proc, cpumodel.TopCores(8, 2))
+	eng.Run(sim.Time(sim.Second))
+	if p := b.Progress(); math.Abs(p-2.0) > 0.01 {
+		t.Fatalf("restricted progress = %v core-s, want 2", p)
+	}
+}
+
+func TestDiskBullyMix(t *testing.T) {
+	eng := sim.NewEngine()
+	vol := diskmodel.NewVolume(eng, diskmodel.HDDStripeConfig())
+	cfg := DefaultDiskBullyConfig()
+	d := NewDiskBully(vol, cfg)
+	d.Start()
+	eng.Run(sim.Time(2 * sim.Second))
+	d.Stop()
+	eng.Run(sim.Time(3 * sim.Second))
+	st := vol.Stats(cfg.ProcName)
+	if st.Ops < 100 {
+		t.Fatalf("disk bully too slow: %d ops", st.Ops)
+	}
+	readFrac := float64(st.ReadOps) / float64(st.Ops)
+	if readFrac < 0.25 || readFrac > 0.41 {
+		t.Fatalf("read fraction = %.2f, want ~0.33", readFrac)
+	}
+	opsAtStop := d.Ops
+	eng.Run(sim.Time(4 * sim.Second))
+	if d.Ops != opsAtStop {
+		t.Fatal("disk bully kept issuing after Stop")
+	}
+}
+
+func TestDiskBullyRespectsVolumeCap(t *testing.T) {
+	eng := sim.NewEngine()
+	vol := diskmodel.NewVolume(eng, diskmodel.HDDStripeConfig())
+	cfg := DefaultDiskBullyConfig()
+	vol.SetRateLimit(cfg.ProcName, 1e6, 0) // 1 MB/s
+	d := NewDiskBully(vol, cfg)
+	d.Start()
+	eng.Run(sim.Time(2 * sim.Second))
+	bytes := vol.Stats(cfg.ProcName).Bytes
+	if float64(bytes) > 3.2e6 { // 2s × 1MB/s + 1s burst
+		t.Fatalf("capped bully moved %d bytes in 2s", bytes)
+	}
+}
+
+func TestBackgroundCPUHoldsFraction(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := cpumodel.DefaultConfig()
+	cfg.Cores = 48
+	m := cpumodel.New(eng, sim.NewRNG(1), cfg)
+	bg := NewBackgroundCPU(m, "os-housekeeping", stats.ClassOS, 0.02)
+	bg.Start()
+	eng.Run(sim.Time(5 * sim.Second))
+	b := m.Breakdown()
+	if b.OSPct < 1.5 || b.OSPct > 2.5 {
+		t.Fatalf("background OS load = %.2f%%, want ~2%%", b.OSPct)
+	}
+	bg.Stop()
+	mark := m.Accounting().Class(stats.ClassOS)
+	eng.Run(sim.Time(6 * sim.Second))
+	after := m.Accounting().Class(stats.ClassOS)
+	if diff := after - mark; diff > 5*sim.Millisecond {
+		t.Fatalf("background kept burning %v after Stop", diff)
+	}
+}
+
+func TestBackgroundCPUValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	m := cpumodel.New(eng, sim.NewRNG(1), cpumodel.DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fraction=0 did not panic")
+		}
+	}()
+	NewBackgroundCPU(m, "x", stats.ClassOS, 0)
+}
