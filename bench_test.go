@@ -134,6 +134,17 @@ func BenchmarkFig9Cluster(b *testing.B) {
 	b.ReportMetric(f.CPUBound.AvgCPUUsedPct, "cpu-used%")
 }
 
+func BenchmarkHarvestFrontier(b *testing.B) {
+	var f experiments.HarvestFrontier
+	for i := 0; i < b.N; i++ {
+		f = experiments.RunHarvestFrontier(experiments.DefaultHarvestScale())
+	}
+	for _, p := range f.Points {
+		b.ReportMetric(float64(p.TasksCompleted), p.Policy+"-tasks")
+		b.ReportMetric(p.Server.P99Ms, p.Policy+"-srv-p99ms")
+	}
+}
+
 func BenchmarkFig10Production(b *testing.B) {
 	var r cluster.ProductionResult
 	for i := 0; i < b.N; i++ {

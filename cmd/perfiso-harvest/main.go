@@ -1,0 +1,91 @@
+// Command perfiso-harvest runs the cluster-wide batch-harvest
+// frontier: a PerfIso-managed IndexServe cluster serving its query
+// trace while the harvest scheduler places batch jobs across machines,
+// once per placement policy (round-robin, least-loaded,
+// harvest-aware). It prints the batch-throughput vs primary-P99
+// frontier that shows what capacity-aware placement buys.
+//
+// Usage:
+//
+//	perfiso-harvest [-columns N] [-queries N] [-warmup N]
+//	                [-rate QPS-per-row] [-jobs N] [-tasks N]
+//	                [-work SECONDS] [-hotspots N] [-hotload FRAC]
+//	                [-failat SECONDS] [-failrow R] [-failcol C]
+//	                [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfiso/internal/experiments"
+	"perfiso/internal/sim"
+)
+
+func main() {
+	scale := experiments.DefaultHarvestScale()
+	columns := flag.Int("columns", 0, "override columns per row")
+	queries := flag.Int("queries", 0, "override trace length")
+	warmup := flag.Int("warmup", 0, "override warmup prefix")
+	rate := flag.Float64("rate", 0, "override per-row query rate")
+	jobs := flag.Int("jobs", 0, "override batch job count")
+	tasks := flag.Int("tasks", 0, "override tasks per job")
+	work := flag.Float64("work", 0, "override per-task CPU demand (seconds)")
+	hotspots := flag.Int("hotspots", -1, "override hot machine count")
+	hotload := flag.Float64("hotload", 0, "override hotspot load fraction")
+	seed := flag.Uint64("seed", 0, "override seed")
+	failat := flag.Float64("failat", 0, "fail a machine at this simulated time (seconds)")
+	failrow := flag.Int("failrow", 0, "row of the machine to fail")
+	failcol := flag.Int("failcol", 0, "column of the machine to fail")
+	flag.Parse()
+
+	if *columns > 0 {
+		scale.Columns = *columns
+	}
+	if *queries > 0 {
+		scale.Queries = *queries
+	}
+	if *warmup > 0 {
+		scale.Warmup = *warmup
+	}
+	if *rate > 0 {
+		scale.RatePerRow = *rate
+	}
+	if *jobs > 0 {
+		scale.Jobs = *jobs
+	}
+	if *tasks > 0 {
+		scale.TasksPerJob = *tasks
+	}
+	if *work > 0 {
+		scale.TaskWork = sim.Duration(*work * float64(sim.Second))
+	}
+	if *hotspots >= 0 {
+		scale.Hotspots = *hotspots
+	}
+	if *hotload > 0 {
+		if *hotload >= 1 {
+			fmt.Fprintln(os.Stderr, "perfiso-harvest: -hotload must be in (0,1)")
+			os.Exit(2)
+		}
+		scale.HotspotLoad = *hotload
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+	if *failat > 0 {
+		if *failrow < 0 || *failrow >= 2 || *failcol < 0 || *failcol >= scale.Columns {
+			fmt.Fprintf(os.Stderr, "perfiso-harvest: no machine at row %d col %d (2 rows × %d columns)\n",
+				*failrow, *failcol, scale.Columns)
+			os.Exit(2)
+		}
+		scale.FailAt = sim.Duration(*failat * float64(sim.Second))
+		scale.FailRow = *failrow
+		scale.FailCol = *failcol
+	}
+
+	fmt.Printf("cluster: %d columns × 2 rows, %d queries at %.0f QPS/row\n\n",
+		scale.Columns, scale.Queries, scale.RatePerRow)
+	fmt.Println(experiments.RunHarvestFrontier(scale).Table())
+}

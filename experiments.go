@@ -135,6 +135,24 @@ const (
 	SecondaryDisk = cluster.DiskSecondary
 )
 
+// HarvestScale sizes the batch-harvest frontier experiment.
+type HarvestScale = experiments.HarvestScale
+
+// HarvestFrontier is the three-policy batch-throughput vs primary-P99
+// comparison produced by the cluster-wide harvest scheduler.
+type HarvestFrontier = experiments.HarvestFrontier
+
+// HarvestPoint is one policy's cell on the harvest frontier.
+type HarvestPoint = experiments.HarvestPoint
+
+// DefaultHarvestScale is the fast default frontier run (12 machines,
+// a third of them hot).
+func DefaultHarvestScale() HarvestScale { return experiments.DefaultHarvestScale() }
+
+// RunHarvestFrontier runs the batch-harvest experiment once per
+// placement policy (round-robin, least-loaded, harvest-aware).
+func RunHarvestFrontier(s HarvestScale) HarvestFrontier { return experiments.RunHarvestFrontier(s) }
+
 // TimelineConfig parameterizes the single-machine DES timeline (the
 // discrete-event cross-check of the Fig. 10 fluid model).
 type TimelineConfig = experiments.TimelineConfig

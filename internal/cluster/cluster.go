@@ -171,6 +171,12 @@ type Cluster struct {
 	// TLALatency aggregates end-to-end latency across TLAs.
 	TLALatency *stats.Histogram
 
+	// OnMachineDown and OnMachineRestore, when set, fire whenever a
+	// machine's health changes (FailMachine / RestoreMachine). The
+	// harvest scheduler subscribes to requeue tasks off dead machines.
+	OnMachineDown    func(*IndexMachine)
+	OnMachineRestore func(*IndexMachine)
+
 	rng      *sim.RNG
 	nextTLA  int
 	nextRow  int
@@ -247,6 +253,15 @@ func (c *Cluster) EachMachine(fn func(*IndexMachine)) {
 	}
 }
 
+// MachineList returns every index machine in deterministic row-major
+// order — the stable iteration order placement policies rely on for
+// reproducible scheduling decisions.
+func (c *Cluster) MachineList() []*IndexMachine {
+	out := make([]*IndexMachine, 0, c.Size())
+	c.EachMachine(func(m *IndexMachine) { out = append(out, m) })
+	return out
+}
+
 // InstallPerfIso deploys a PerfIso controller with the given cluster
 // configuration on every index machine, wrapping that machine's
 // secondary processes, and starts it — the per-machine deployment of
@@ -271,23 +286,52 @@ func (c *Cluster) InstallPerfIso(coreCfg core.Config) error {
 // StartSecondary launches the selected batch workload on every index
 // machine and, when PerfIso is installed, places it under management.
 func (c *Cluster) StartSecondary(kind Secondary) {
-	c.EachMachine(func(m *IndexMachine) {
-		switch kind {
-		case NoSecondary:
-		case CPUSecondary:
-			b := workload.NewCPUBully(m.Node.CPU, "bully", m.Node.CPU.Cores())
-			b.Start()
-			m.CPUBully = b
-			if m.Controller != nil {
-				m.Controller.ManageSecondary(b.Proc)
-			}
-		case DiskSecondary:
-			cfg := workload.DefaultDiskBullyConfig()
-			d := workload.NewDiskBully(m.Node.HDD, cfg)
-			d.Start()
-			m.DiskBully = d
+	c.EachMachine(func(m *IndexMachine) { c.startSecondaryOn(m, kind) })
+}
+
+// StartSecondaryOn launches the selected batch workload on one index
+// machine — the per-machine control a cluster-level harvest scheduler
+// needs (it decides per machine, not fleet-wide).
+func (c *Cluster) StartSecondaryOn(row, col int, kind Secondary) {
+	c.startSecondaryOn(c.machineAt(row, col), kind)
+}
+
+func (c *Cluster) startSecondaryOn(m *IndexMachine, kind Secondary) {
+	switch kind {
+	case NoSecondary:
+	case CPUSecondary:
+		if m.CPUBully != nil {
+			m.CPUBully.Start()
+			return
 		}
-	})
+		b := workload.NewCPUBully(m.Node.CPU, "bully", m.Node.CPU.Cores())
+		b.Start()
+		m.CPUBully = b
+		if m.Controller != nil {
+			m.Controller.ManageSecondary(b.Proc)
+		}
+	case DiskSecondary:
+		if m.DiskBully != nil {
+			return
+		}
+		cfg := workload.DefaultDiskBullyConfig()
+		d := workload.NewDiskBully(m.Node.HDD, cfg)
+		d.Start()
+		m.DiskBully = d
+	}
+}
+
+// StopSecondaryOn halts the batch workloads on one index machine
+// (running bully threads are killed; disk streams drain).
+func (c *Cluster) StopSecondaryOn(row, col int) {
+	m := c.machineAt(row, col)
+	if m.CPUBully != nil {
+		m.CPUBully.Stop()
+	}
+	if m.DiskBully != nil {
+		m.DiskBully.Stop()
+		m.DiskBully = nil
+	}
 }
 
 // hop returns one network-hop delay with jitter.
@@ -480,13 +524,25 @@ func (c *Cluster) InFlight() int { return c.inFlight }
 // know), but no new queries reach it.
 func (c *Cluster) FailMachine(row, col int) {
 	m := c.machineAt(row, col)
+	if m.down {
+		return
+	}
 	m.down = true
+	if c.OnMachineDown != nil {
+		c.OnMachineDown(m)
+	}
 }
 
 // RestoreMachine returns a failed machine to service.
 func (c *Cluster) RestoreMachine(row, col int) {
 	m := c.machineAt(row, col)
+	if !m.down {
+		return
+	}
 	m.down = false
+	if c.OnMachineRestore != nil {
+		c.OnMachineRestore(m)
+	}
 }
 
 func (c *Cluster) machineAt(row, col int) *IndexMachine {

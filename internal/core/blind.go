@@ -36,6 +36,14 @@ type BlindIsolation struct {
 	enabled   bool
 	stopped   bool
 
+	// Harvest-capacity signal: how many cores beyond the buffer sit
+	// idle, i.e. capacity a cluster scheduler could hand to batch work
+	// without touching the safety margin. Updated every poll on the
+	// simulation clock; the EWMA smooths over the primary's bursts.
+	harvestInstant int
+	harvestEWMA    float64
+	harvestAlpha   float64
+
 	// Shrinks and Grows count affinity updates by direction; the paper
 	// separates cheap polling from on-demand updates (§4.1), so these
 	// also measure how rarely updates happen relative to polls.
@@ -61,15 +69,36 @@ func NewBlindIsolation(os *osmodel.OS, job *osmodel.Job, cfg Config) *BlindIsola
 	if maxSec == 0 || maxSec > limit {
 		maxSec = limit
 	}
+	alpha := cfg.HarvestSmoothing
+	if alpha == 0 {
+		alpha = defaultHarvestSmoothing
+	}
 	b := &BlindIsolation{
-		os:      os,
-		job:     job,
-		buffer:  cfg.BufferCores,
-		holdoff: cfg.GrowHoldoff,
-		maxSec:  maxSec,
+		os:           os,
+		job:          job,
+		buffer:       cfg.BufferCores,
+		holdoff:      cfg.GrowHoldoff,
+		maxSec:       maxSec,
+		harvestAlpha: alpha,
 	}
 	return b
 }
+
+// defaultHarvestSmoothing is the EWMA coefficient used when the config
+// leaves HarvestSmoothing at zero. At the default 100 µs poll cadence
+// it yields a ~5 ms time constant — long enough to look through MLA
+// aggregation bursts, short enough to track real load shifts well
+// within one scheduler tick.
+const defaultHarvestSmoothing = 0.02
+
+// Harvestable reports the instantaneous harvest capacity observed at
+// the last poll: idle cores beyond the buffer (never negative).
+func (b *BlindIsolation) Harvestable() int { return b.harvestInstant }
+
+// SmoothedHarvestable reports the EWMA of Harvestable across polls —
+// the signal cluster-level batch schedulers consume, robust to the
+// primary's microsecond-scale bursts.
+func (b *BlindIsolation) SmoothedHarvestable() float64 { return b.harvestEWMA }
 
 // RecordAllocation enables sampling of the secondary allocation every n
 // polls (for time-series plots).
@@ -142,10 +171,16 @@ func (b *BlindIsolation) Enabled() bool { return b.enabled }
 // polling from updating).
 func (b *BlindIsolation) Poll() {
 	b.Polls++
+	idle := b.os.IdleCores()
+	h := idle - b.buffer
+	if h < 0 {
+		h = 0
+	}
+	b.harvestInstant = h
+	b.harvestEWMA += b.harvestAlpha * (float64(h) - b.harvestEWMA)
 	if !b.enabled {
 		return
 	}
-	idle := b.os.IdleCores()
 	switch {
 	case idle < b.buffer:
 		// The primary has eaten into the buffer: shed the full deficit

@@ -60,6 +60,14 @@ type Config struct {
 	// MemoryPollInterval is the memory guard cadence.
 	MemoryPollInterval sim.Duration `json:"memory_poll_interval_ns"`
 
+	// HarvestSmoothing is the EWMA coefficient applied to the per-poll
+	// harvestable-core measurement (idle cores beyond the buffer) that
+	// the controller exports to cluster-level batch schedulers. Zero
+	// selects the default of 0.02 (a ~5 ms time constant at the
+	// default poll cadence); values closer to 1 weigh the newest
+	// sample more.
+	HarvestSmoothing float64 `json:"harvest_smoothing,omitempty"`
+
 	// EgressLowPriorityRate caps secondary outbound bandwidth in
 	// bytes/second; secondary traffic is additionally marked
 	// low-priority at the NIC (§3.2). Zero disables the cap (traffic is
@@ -140,6 +148,9 @@ func (c Config) Validate() error {
 	}
 	if c.EgressLowPriorityRate < 0 {
 		return fmt.Errorf("core: negative egress rate")
+	}
+	if c.HarvestSmoothing < 0 || c.HarvestSmoothing > 1 {
+		return fmt.Errorf("core: harvest smoothing %.3f outside [0,1]", c.HarvestSmoothing)
 	}
 	for _, v := range c.IO {
 		if v.Volume == "" {

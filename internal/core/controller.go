@@ -119,6 +119,35 @@ func (c *Controller) Enable() {
 // Disabled reports whether the kill switch is thrown.
 func (c *Controller) Disabled() bool { return c.disabled }
 
+// HarvestSample is the per-machine harvest-capacity readout a
+// cluster-level batch scheduler polls (sampled on the simulation clock
+// by the blind-isolation loop). Harvestable is the instantaneous
+// idle-beyond-buffer core count; Smoothed is its EWMA.
+type HarvestSample struct {
+	IdleCores      int
+	BufferCores    int
+	SecondaryCores int
+	Harvestable    int
+	Smoothed       float64
+}
+
+// Harvest reports the machine's current harvest capacity. A disabled
+// controller (kill switch) reports zero capacity: with isolation
+// lifted the machine offers no safe harvest guarantee.
+func (c *Controller) Harvest() HarvestSample {
+	s := HarvestSample{
+		IdleCores:      c.os.IdleCores(),
+		BufferCores:    c.cfg.BufferCores,
+		SecondaryCores: c.Blind.Allocated(),
+	}
+	if c.disabled {
+		return s
+	}
+	s.Harvestable = c.Blind.Harvestable()
+	s.Smoothed = c.Blind.SmoothedHarvestable()
+	return s
+}
+
 // Command is a runtime limit-altering request (§4: "resource limits can
 // be altered independently at runtime by issuing a command").
 type Command struct {

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"perfiso/internal/sim"
+)
+
+// The harvest-capacity signal: idle cores beyond the buffer, sampled
+// by the blind-isolation poll loop and smoothed for cluster-level
+// schedulers.
+
+func TestHarvestSignalIdleMachine(t *testing.T) {
+	n := newTestNode(t)
+	cfg := DefaultConfig()
+	ctrl, err := NewController(n.os, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	n.runFor(50 * sim.Millisecond)
+
+	h := ctrl.Harvest()
+	want := n.cpu.Cores() - cfg.BufferCores
+	if h.Harvestable != want {
+		t.Fatalf("idle machine harvestable = %d, want %d", h.Harvestable, want)
+	}
+	if h.Smoothed < float64(want)-0.5 {
+		t.Fatalf("smoothed = %.2f, want ≈%d", h.Smoothed, want)
+	}
+	if h.BufferCores != cfg.BufferCores {
+		t.Fatalf("buffer = %d, want %d", h.BufferCores, cfg.BufferCores)
+	}
+}
+
+func TestHarvestSignalShrinksUnderPrimaryLoad(t *testing.T) {
+	n := newTestNode(t)
+	ctrl, err := NewController(n.os, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	n.runFor(10 * sim.Millisecond)
+	before := ctrl.Harvest().Smoothed
+
+	// Saturate the machine: the primary occupies every core, so idle
+	// drops to zero and harvestable with it.
+	p := n.newPrimary("primary")
+	n.spawnPrimaryBurst(p, n.cpu.Cores(), 200*sim.Millisecond)
+	n.runFor(100 * sim.Millisecond)
+
+	h := ctrl.Harvest()
+	if h.Harvestable != 0 {
+		t.Fatalf("saturated harvestable = %d, want 0", h.Harvestable)
+	}
+	if h.Smoothed >= before {
+		t.Fatalf("smoothed did not shrink: %.2f -> %.2f", before, h.Smoothed)
+	}
+	if h.Smoothed > 1 {
+		t.Fatalf("smoothed = %.2f after 100 ms of saturation, want ≈0", h.Smoothed)
+	}
+}
+
+func TestHarvestSignalZeroWhenDisabled(t *testing.T) {
+	n := newTestNode(t)
+	ctrl, err := NewController(n.os, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	n.runFor(10 * sim.Millisecond)
+	ctrl.Disable()
+	h := ctrl.Harvest()
+	if h.Harvestable != 0 || h.Smoothed != 0 {
+		t.Fatalf("disabled controller advertises capacity: %+v", h)
+	}
+	ctrl.Enable()
+	n.runFor(10 * sim.Millisecond)
+	if ctrl.Harvest().Harvestable == 0 {
+		t.Fatal("re-enabled controller reports no capacity on an idle machine")
+	}
+}
+
+func TestHarvestSmoothingValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HarvestSmoothing = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("smoothing 1.5 accepted")
+	}
+	cfg.HarvestSmoothing = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("smoothing -0.1 accepted")
+	}
+	cfg.HarvestSmoothing = 0.5
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("smoothing 0.5 rejected: %v", err)
+	}
+}

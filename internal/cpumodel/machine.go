@@ -2,6 +2,7 @@ package cpumodel
 
 import (
 	"fmt"
+	"sort"
 
 	"perfiso/internal/sim"
 	"perfiso/internal/stats"
@@ -561,6 +562,19 @@ func (m *Machine) preempt(t *Thread) {
 	m.pickNext(c)
 }
 
+// sortedThreads returns p's live threads in ID order. The threads map
+// must never be ranged directly where thread handling order can reach
+// scheduling decisions: Go randomizes map iteration, and eviction or
+// kill order would then vary between identically-seeded runs.
+func (p *Process) sortedThreads() []*Thread {
+	out := make([]*Thread, 0, len(p.threads))
+	for _, t := range p.threads {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // SetAffinity updates a process's affinity mask. Running threads outside
 // the new mask are evicted — immediately with the default configuration
 // (the property blind isolation relies on for its sub-millisecond rescue
@@ -570,7 +584,7 @@ func (m *Machine) preempt(t *Thread) {
 func (m *Machine) SetAffinity(p *Process, mask CPUSet) {
 	p.affinity = mask
 	var displaced []*Thread
-	for _, t := range p.threads {
+	for _, t := range p.sortedThreads() {
 		switch t.State {
 		case StateRunning:
 			if !t.eff().Has(t.core) {
@@ -668,7 +682,7 @@ func (m *Machine) Cancel(t *Thread) {
 
 // Kill terminates every thread of p without firing OnDone.
 func (m *Machine) Kill(p *Process) {
-	for _, t := range p.threads {
+	for _, t := range p.sortedThreads() {
 		switch t.State {
 		case StateRunning:
 			m.preempt(t)
@@ -746,7 +760,7 @@ func (m *Machine) runThrottle(p *Process) {
 func (m *Machine) freeze(p *Process) {
 	p.frozen = true
 	var victims []*Thread
-	for _, t := range p.threads {
+	for _, t := range p.sortedThreads() {
 		switch t.State {
 		case StateRunning:
 			m.preempt(t)

@@ -1,0 +1,163 @@
+package harvest
+
+import "fmt"
+
+// Candidate is one machine a policy may place a task on. Candidates
+// are presented in row-major machine order and are pre-filtered to
+// healthy machines below the static per-machine task ceiling; how much
+// of the capacity signal a policy consumes is up to the policy.
+type Candidate struct {
+	// Index is the machine's row-major linear index — the stable
+	// identity policies key rotation and tie-breaking on.
+	Index int
+	Row   int
+	Col   int
+	// Running is the number of harvest tasks currently on the machine.
+	Running int
+	// Capacity is the cores the machine can currently devote to batch
+	// work: the cores its running tasks occupy (capped by the PerfIso
+	// secondary grant) plus the smoothed idle-beyond-buffer headroom;
+	// bare machines report their idle-core count. Kill-switched
+	// machines report zero and are filtered out before policies see
+	// them.
+	Capacity float64
+	// PrimaryLoad is the percentage of machine CPU spent in the
+	// primary and OS classes over the measured window.
+	PrimaryLoad float64
+}
+
+// Policy decides where a pending task goes. Pick returns the index
+// into cands of the chosen machine, or -1 to leave the task queued
+// (the scheduler retries next tick). Implementations must be
+// deterministic: identical candidate sequences must yield identical
+// decisions, which is what makes whole runs reproducible from a seed.
+type Policy interface {
+	Name() string
+	Pick(t *Task, cands []Candidate) int
+}
+
+// RoundRobin cycles through machines in linear-index order, blind to
+// capacity — the naive baseline a uniform StartSecondary rollout
+// corresponds to.
+type RoundRobin struct {
+	cursor int
+}
+
+// NewRoundRobin returns the rotation policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Policy: the first candidate at or after the cursor,
+// wrapping to the start.
+func (p *RoundRobin) Pick(t *Task, cands []Candidate) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	pick := 0
+	for i, c := range cands {
+		if c.Index >= p.cursor {
+			pick = i
+			break
+		}
+	}
+	p.cursor = cands[pick].Index + 1
+	return pick
+}
+
+// LeastLoaded places each task on the machine with the fewest running
+// harvest tasks (lowest linear index on ties) — count balancing
+// without any capacity awareness.
+type LeastLoaded struct{}
+
+// NewLeastLoaded returns the count-balancing policy.
+func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
+
+// Name implements Policy.
+func (p *LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Policy.
+func (p *LeastLoaded) Pick(t *Task, cands []Candidate) int {
+	best := -1
+	for i, c := range cands {
+		if best < 0 || c.Running < cands[best].Running {
+			best = i
+		}
+	}
+	return best
+}
+
+// HarvestAware scores machines by how much CPU they can actually
+// spare: recent harvestable capacity minus the share already promised
+// to running tasks, penalized by primary load. Tasks are placed only
+// where at least one task's worth of capacity exists; otherwise they
+// wait — deliberately non-work-conserving, like blind isolation
+// itself, so batch work never lands where it would immediately be
+// squeezed back out.
+type HarvestAware struct {
+	// TaskCores is the capacity one task is assumed to consume.
+	TaskCores float64
+	// LoadPenalty discounts a machine's score by this many cores at
+	// 100% primary load, steering work toward quiet primaries.
+	LoadPenalty float64
+}
+
+// NewHarvestAware returns the capacity-scoring policy.
+func NewHarvestAware(taskCores, loadPenalty float64) *HarvestAware {
+	if taskCores <= 0 {
+		taskCores = 1
+	}
+	return &HarvestAware{TaskCores: taskCores, LoadPenalty: loadPenalty}
+}
+
+// Name implements Policy.
+func (p *HarvestAware) Name() string { return "harvest-aware" }
+
+// Score is the policy's ranking function, exported for tests and
+// tooling.
+func (p *HarvestAware) Score(c Candidate) float64 {
+	return c.Capacity - p.TaskCores*float64(c.Running) - p.LoadPenalty*c.PrimaryLoad/100
+}
+
+// Pick implements Policy: the highest-scoring candidate with headroom
+// for one more task, or -1 when none qualifies.
+func (p *HarvestAware) Pick(t *Task, cands []Candidate) int {
+	best, bestScore := -1, 0.0
+	for i, c := range cands {
+		s := p.Score(c)
+		if s < p.TaskCores {
+			continue
+		}
+		if best < 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// Policy names accepted by PolicyByName and the harvest config file.
+const (
+	PolicyRoundRobin   = "round-robin"
+	PolicyLeastLoaded  = "least-loaded"
+	PolicyHarvestAware = "harvest-aware"
+)
+
+// PolicyNames lists the built-in policies in presentation order.
+func PolicyNames() []string {
+	return []string{PolicyRoundRobin, PolicyLeastLoaded, PolicyHarvestAware}
+}
+
+// PolicyByName builds a fresh policy instance from its wire name,
+// sized by cfg.
+func PolicyByName(name string, cfg Config) (Policy, error) {
+	switch name {
+	case PolicyRoundRobin:
+		return NewRoundRobin(), nil
+	case PolicyLeastLoaded:
+		return NewLeastLoaded(), nil
+	case PolicyHarvestAware:
+		return NewHarvestAware(cfg.TaskCores, cfg.LoadPenalty), nil
+	}
+	return nil, fmt.Errorf("harvest: unknown policy %q", name)
+}

@@ -1,0 +1,95 @@
+package harvest
+
+import "testing"
+
+func cand(index, running int, capacity, load float64) Candidate {
+	return Candidate{Index: index, Running: running, Capacity: capacity, PrimaryLoad: load}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	p := NewRoundRobin()
+	cands := []Candidate{cand(0, 0, 10, 0), cand(1, 0, 10, 0), cand(2, 0, 10, 0)}
+	var picked []int
+	for i := 0; i < 5; i++ {
+		idx := p.Pick(nil, cands)
+		picked = append(picked, cands[idx].Index)
+	}
+	want := []int{0, 1, 2, 0, 1}
+	for i := range want {
+		if picked[i] != want[i] {
+			t.Fatalf("rotation = %v, want %v", picked, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsMissingMachines(t *testing.T) {
+	p := NewRoundRobin()
+	// Machine 1 is absent (down or full): the cursor lands on the
+	// next present index and keeps rotating.
+	cands := []Candidate{cand(0, 0, 10, 0), cand(2, 0, 10, 0)}
+	if got := cands[p.Pick(nil, cands)].Index; got != 0 {
+		t.Fatalf("first pick = %d, want 0", got)
+	}
+	if got := cands[p.Pick(nil, cands)].Index; got != 2 {
+		t.Fatalf("second pick = %d, want 2", got)
+	}
+	if got := cands[p.Pick(nil, cands)].Index; got != 0 {
+		t.Fatalf("third pick = %d, want 0 (wrap)", got)
+	}
+	if p.Pick(nil, nil) != -1 {
+		t.Fatal("empty candidate list must yield -1")
+	}
+}
+
+func TestLeastLoadedPicksFewestTasks(t *testing.T) {
+	p := NewLeastLoaded()
+	cands := []Candidate{cand(0, 3, 40, 0), cand(1, 1, 2, 90), cand(2, 2, 40, 0)}
+	if got := cands[p.Pick(nil, cands)].Index; got != 1 {
+		t.Fatalf("pick = %d, want 1 (fewest tasks, capacity-blind)", got)
+	}
+	// Ties break toward the lowest index.
+	tie := []Candidate{cand(3, 2, 1, 0), cand(5, 2, 50, 0)}
+	if got := tie[p.Pick(nil, tie)].Index; got != 3 {
+		t.Fatalf("tie pick = %d, want 3", got)
+	}
+}
+
+func TestHarvestAwareScoresCapacityAndLoad(t *testing.T) {
+	p := NewHarvestAware(1, 4)
+	// Machine 2 has the most spare capacity once running tasks and
+	// primary load are discounted.
+	cands := []Candidate{
+		cand(0, 0, 3, 80), // 3 - 0 - 3.2 = -0.2 → below threshold
+		cand(1, 2, 6, 10), // 6 - 2 - 0.4 = 3.6
+		cand(2, 0, 9, 50), // 9 - 0 - 2.0 = 7.0
+	}
+	if got := cands[p.Pick(nil, cands)].Index; got != 2 {
+		t.Fatalf("pick = %d, want 2", got)
+	}
+}
+
+func TestHarvestAwareRefusesSqueezedMachines(t *testing.T) {
+	p := NewHarvestAware(2, 0)
+	// Both machines score below one task's worth of capacity: the
+	// task must wait rather than land where it would be squeezed out.
+	cands := []Candidate{cand(0, 1, 3, 0), cand(1, 0, 1.5, 0)}
+	if got := p.Pick(nil, cands); got != -1 {
+		t.Fatalf("pick = %d, want -1 (no machine has headroom)", got)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, name := range PolicyNames() {
+		p, err := PolicyByName(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("policy %q reports name %q", name, p.Name())
+		}
+	}
+	if _, err := PolicyByName("mystery", cfg); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package harvest
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"perfiso/internal/autopilot"
+	"perfiso/internal/cluster"
+)
+
+// ConfigFileName is the cluster configuration file the harvest
+// scheduler reads through Autopilot, mirroring how PerfIso itself
+// receives its limits (§4).
+const ConfigFileName = "harvest.json"
+
+// ServiceName is the scheduler's registry name.
+const ServiceName = "harvest-scheduler"
+
+// Service adapts the scheduler to Autopilot's service lifecycle: the
+// configuration comes from the distributed config file (falling back
+// to the construction-time defaults), a small state blob records the
+// active policy across restarts, and a crash-restart resumes the
+// scheduling loop — queued and running tasks survive in the
+// scheduler, just as PerfIso resumes isolation from its persisted
+// state (§4.2).
+type Service struct {
+	c   *cluster.Cluster
+	cfg Config
+
+	sched *Scheduler
+	env   *autopilot.Env
+}
+
+// NewService builds the Autopilot-managed harvest scheduler for a
+// cluster. cfg is the default configuration used when no
+// ConfigFileName has been distributed.
+func NewService(c *cluster.Cluster, cfg Config) *Service {
+	return &Service{c: c, cfg: cfg}
+}
+
+// Scheduler exposes the running scheduler (nil while stopped).
+func (s *Service) Scheduler() *Scheduler { return s.sched }
+
+// ServiceName implements autopilot.Service.
+func (s *Service) ServiceName() string { return ServiceName }
+
+// serviceState is the persisted blob: enough to prove the restart
+// path round-trips configuration, in the spirit of the PerfIso state
+// blob (everything else is re-derivable from the cluster config).
+type serviceState struct {
+	Config Config `json:"config"`
+}
+
+// Start implements autopilot.Service. Unlike PerfIso — whose
+// persisted state carries runtime-issued limit changes and therefore
+// wins over the config file — the harvest blob holds nothing but the
+// configuration, so the distributed file is authoritative: a restart
+// under a changed harvest.json picks the change up. The persisted
+// blob only bridges restarts where the file is (temporarily) absent.
+func (s *Service) Start(env *autopilot.Env) error {
+	s.env = env
+	cfg := s.cfg
+	if data, ok := env.Config(ConfigFileName); ok {
+		parsed, err := ParseConfig(data)
+		if err != nil {
+			return err
+		}
+		cfg = parsed
+	} else if blob, ok := env.SavedState(); ok {
+		var st serviceState
+		if err := json.Unmarshal(blob, &st); err != nil {
+			return fmt.Errorf("harvest: restoring persisted state: %w", err)
+		}
+		cfg = st.Config
+	}
+	if s.sched == nil {
+		sched, err := NewScheduler(s.c, cfg)
+		if err != nil {
+			return err
+		}
+		s.sched = sched
+	} else if err := s.sched.Reconfigure(cfg); err != nil {
+		return err
+	}
+	s.sched.Start()
+	if blob, err := json.Marshal(serviceState{Config: cfg}); err == nil {
+		env.SaveState(blob)
+	}
+	return nil
+}
+
+// Stop implements autopilot.Service. The scheduler object survives so
+// a restart resumes its queue; only the loop halts.
+func (s *Service) Stop() {
+	if s.sched != nil {
+		s.sched.Stop()
+	}
+}

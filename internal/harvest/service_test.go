@@ -1,0 +1,146 @@
+package harvest
+
+import (
+	"testing"
+
+	"perfiso/internal/autopilot"
+	"perfiso/internal/cluster"
+	"perfiso/internal/core"
+	"perfiso/internal/sim"
+)
+
+func newServiceFixture(t *testing.T) (*sim.Engine, *autopilot.Manager, *Service) {
+	t.Helper()
+	eng := sim.NewEngine()
+	c := cluster.New(eng, cluster.ScaledConfig(1))
+	if err := c.InstallPerfIso(core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	mgr := autopilot.NewManager(eng)
+	svc := NewService(c, DefaultConfig())
+	if err := mgr.Register(svc, 0); err != nil {
+		t.Fatal(err)
+	}
+	return eng, mgr, svc
+}
+
+func TestServiceReadsDistributedConfig(t *testing.T) {
+	_, mgr, svc := newServiceFixture(t)
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyRoundRobin
+	blob, err := cfg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.DistributeConfig(ConfigFileName, blob)
+	if err := mgr.StartService(ServiceName); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Scheduler().Policy().Name(); got != PolicyRoundRobin {
+		t.Fatalf("policy = %q, want %q from distributed config", got, PolicyRoundRobin)
+	}
+}
+
+func TestServiceDefaultsWithoutConfigFile(t *testing.T) {
+	_, mgr, svc := newServiceFixture(t)
+	if err := mgr.StartService(ServiceName); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Scheduler().Policy().Name(); got != PolicyHarvestAware {
+		t.Fatalf("policy = %q, want construction default", got)
+	}
+}
+
+func TestServiceRejectsBadConfig(t *testing.T) {
+	_, mgr, _ := newServiceFixture(t)
+	mgr.DistributeConfig(ConfigFileName, []byte(`{"tick_ns": -5}`))
+	if err := mgr.StartService(ServiceName); err == nil {
+		t.Fatal("service started with an invalid distributed config")
+	}
+}
+
+// TestServiceCrashRestartResumes: the Autopilot crash-recovery path —
+// a crashed scheduler is revived with its queue intact and keeps
+// placing work.
+func TestServiceCrashRestartResumes(t *testing.T) {
+	eng, mgr, svc := newServiceFixture(t)
+	if err := mgr.StartService(ServiceName); err != nil {
+		t.Fatal(err)
+	}
+	sched := svc.Scheduler()
+	j, err := sched.Submit(JobSpec{
+		Name:     "survivor",
+		Tasks:    6,
+		TaskWork: 500 * sim.Millisecond,
+		Kind:     cluster.CPUSecondary,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(sim.Time(100 * sim.Millisecond))
+	if err := mgr.Crash(ServiceName); err != nil {
+		t.Fatal(err)
+	}
+	// Autopilot revives the service after its restart delay (1 s
+	// default); the same scheduler resumes the remaining queue.
+	eng.Run(sim.Time(6 * sim.Second))
+	if status, _ := mgr.Status(ServiceName); status != autopilot.StatusRunning {
+		t.Fatalf("service status = %v after restart window", status)
+	}
+	if svc.Scheduler() != sched {
+		t.Fatal("restart built a new scheduler; the queue was lost")
+	}
+	if !j.Done() {
+		t.Fatalf("job incomplete across crash-restart: %d/%d", j.Completed, j.Spec.Tasks)
+	}
+	if mgr.Restarts(ServiceName) != 1 {
+		t.Fatalf("restarts = %d, want 1", mgr.Restarts(ServiceName))
+	}
+}
+
+// TestServiceRestartKeepsScheduler: a stop/start cycle reuses the
+// same scheduler (reconfigured in place), so its queue survives and
+// no orphaned incarnation lingers on the cluster's failure hook.
+func TestServiceRestartKeepsScheduler(t *testing.T) {
+	eng, mgr, svc := newServiceFixture(t)
+	if err := mgr.StartService(ServiceName); err != nil {
+		t.Fatal(err)
+	}
+	sched := svc.Scheduler()
+	j, err := sched.Submit(JobSpec{
+		Name:     "carryover",
+		Tasks:    4,
+		TaskWork: 500 * sim.Millisecond,
+		Kind:     cluster.CPUSecondary,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(sim.Time(100 * sim.Millisecond))
+	if err := mgr.StopService(ServiceName); err != nil {
+		t.Fatal(err)
+	}
+	// A config file distributed while the service was down takes
+	// effect on restart (it is authoritative over the persisted
+	// blob), reconfiguring the surviving scheduler in place.
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyLeastLoaded
+	blob, err := cfg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.DistributeConfig(ConfigFileName, blob)
+	if err := mgr.StartService(ServiceName); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Scheduler() != sched {
+		t.Fatal("restart rebuilt the scheduler; queue stranded")
+	}
+	if got := sched.Policy().Name(); got != PolicyLeastLoaded {
+		t.Fatalf("policy = %q after restart under new config, want %q", got, PolicyLeastLoaded)
+	}
+	eng.Run(sim.Time(4 * sim.Second))
+	if !j.Done() {
+		t.Fatalf("job incomplete across restart: %d/%d", j.Completed, j.Spec.Tasks)
+	}
+}

@@ -15,6 +15,7 @@ type CPUBully struct {
 	Proc    *cpumodel.Process
 	m       *cpumodel.Machine
 	threads int
+	running bool
 }
 
 // NewCPUBully creates the bully's process with the given worker count;
@@ -30,12 +31,25 @@ func NewCPUBully(m *cpumodel.Machine, name string, threads int) *CPUBully {
 	}
 }
 
-// Start spawns the always-runnable workers.
+// Start spawns the always-runnable workers. Starting a running bully
+// is a no-op — doubling the Forever threads would silently skew every
+// progress and accounting measurement.
 func (b *CPUBully) Start() {
+	if b.running {
+		return
+	}
+	b.running = true
 	all := cpumodel.AllCores(b.m.Cores())
 	for i := 0; i < b.threads; i++ {
 		b.m.Spawn(b.Proc, cpumodel.Forever, all, nil)
 	}
+}
+
+// Stop terminates all worker threads; the process itself survives, so
+// a later Start relaunches the workers under the same accounting.
+func (b *CPUBully) Stop() {
+	b.running = false
+	b.m.Kill(b.Proc)
 }
 
 // Threads reports the configured worker count.

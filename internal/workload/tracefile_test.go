@@ -53,6 +53,41 @@ func TestReadTraceRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestReadTraceRejectsTruncatedRecords covers streams whose header is
+// intact but whose record payload is cut short mid-stream: after the
+// first arrival field, between a record's arrival and seed, and on a
+// record boundary before the advertised count is reached.
+func TestReadTraceRejectsTruncatedRecords(t *testing.T) {
+	trace := GenerateTrace(TraceConfig{Queries: 10, Rate: 2000, Seed: 4})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	const headerLen = 4 + 4 + 8 // magic + version + count
+	const recordLen = 8 + 8     // arrival + seed
+	cuts := map[string]int{
+		"empty payload":          headerLen,
+		"mid first arrival":      headerLen + 3,
+		"between arrival & seed": headerLen + 8,
+		"mid seed":               headerLen + 8 + 5,
+		"record boundary":        headerLen + 4*recordLen,
+		"mid last record":        len(full) - 1,
+	}
+	for name, cut := range cuts {
+		if cut >= len(full) {
+			t.Fatalf("%s: cut %d beyond stream length %d", name, cut, len(full))
+		}
+		if _, err := ReadTrace(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("%s: truncated stream accepted", name)
+		}
+	}
+	// Sanity: the untruncated stream still reads.
+	if _, err := ReadTrace(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full stream rejected: %v", err)
+	}
+}
+
 func TestReadTraceRejectsNonMonotonic(t *testing.T) {
 	trace := []QuerySpec{
 		{ID: 0, Arrival: sim.Time(100), Seed: 1},

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs the cluster-level benchmarks once and records their headline
+# metrics as BENCH_cluster.json, so successive PRs accumulate a perf
+# trajectory. Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_cluster.json}"
+
+raw=$(go test -run '^$' \
+	-bench 'BenchmarkFig9Cluster$|BenchmarkHarvestFrontier$|BenchmarkFig10Production$' \
+	-benchtime 1x -count 1 .)
+echo "$raw" >&2
+
+{
+	echo '{'
+	echo "  \"generated_by\": \"scripts/bench.sh\","
+	echo "  \"go\": \"$(go env GOVERSION)\","
+	echo '  "benchmarks": ['
+	echo "$raw" | awk '
+		/^Benchmark/ {
+			n = split($0, f, /[ \t]+/)
+			printf "%s    {\"name\": \"%s\", \"iterations\": %s", sep, f[1], f[2]
+			for (i = 3; i + 1 <= n; i += 2) {
+				unit = f[i+1]
+				gsub(/[^A-Za-z0-9%\/_.-]/, "", unit)
+				printf ", \"%s\": %s", unit, f[i]
+			}
+			printf "}"
+			sep = ",\n"
+		}
+		END { print "" }
+	'
+	echo '  ]'
+	echo '}'
+} >"$out"
+echo "wrote $out" >&2
