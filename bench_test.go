@@ -23,6 +23,7 @@ package perfiso_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"perfiso"
@@ -176,6 +177,40 @@ func BenchmarkSecondaryProgress(b *testing.B) {
 			b.ReportMetric(100*blind, "blind%")
 			b.ReportMetric(100*cores, "cores%")
 			b.ReportMetric(100*cycles, "cycles%")
+		})
+	}
+}
+
+// reproSpec sizes the registry benchmark like the other benches: small
+// single-machine traces, the reduced cluster topology.
+func reproSpec() experiments.ScaleSpec {
+	spec := experiments.TestSpec()
+	spec.Name = "bench"
+	spec.Single = benchScale()
+	return spec
+}
+
+// BenchmarkReproAll runs every registered experiment through the shared
+// cell pool. workers=1 is the sequential baseline; workers=8 is the
+// parallel run — the ns/op ratio between the two sub-benchmarks is the
+// registry's wall-clock speedup on the recording machine (bounded by
+// its core count; ~1× on a single-core box).
+func BenchmarkReproAll(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var res experiments.RunResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = experiments.DefaultRegistry().Run(experiments.RunOptions{
+					Spec:    reproSpec(),
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.CellCount), "cells")
+			b.ReportMetric(float64(runtime.NumCPU()), "cores")
 		})
 	}
 }

@@ -1,0 +1,147 @@
+// Command perfiso-repro reproduces the paper's whole evaluation in one
+// run: every registered experiment (Figs. 4–10, the §1 headline, and
+// the repo's extensions) is decomposed into independent seeded cells
+// and executed on a worker pool, so the wall clock is bounded by the
+// slowest cell instead of the sum of all figures. Results are
+// bit-identical at any worker count.
+//
+// It emits JSON/CSV artifacts under -results and renders the markdown
+// reproduction report committed as RESULTS.md (drift-gated in CI).
+//
+// Usage:
+//
+//	perfiso-repro [-list] [-run REGEX] [-scale test|paper] [-workers N]
+//	              [-results DIR] [-report FILE] [-tables] [-quiet]
+//
+// Examples:
+//
+//	perfiso-repro -list
+//	perfiso-repro -scale test                  # regenerate RESULTS.md + results/
+//	perfiso-repro -run 'fig[45]|headline' -tables
+//	perfiso-repro -scale paper -workers 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"time"
+
+	"perfiso/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process exit, so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("perfiso-repro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list registered experiments and exit")
+	runPat := fs.String("run", "", "regexp selecting experiments to run (default: all)")
+	scaleName := fs.String("scale", "test", `experiment scale: "test" or "paper"`)
+	workers := fs.Int("workers", 0, "cell worker-pool size (0 = GOMAXPROCS)")
+	resultsDir := fs.String("results", "results", "artifact directory (empty disables)")
+	reportPath := fs.String("report", "RESULTS.md", "reproduction report path (empty disables)")
+	tables := fs.Bool("tables", false, "print each experiment's table to stdout")
+	quiet := fs.Bool("quiet", false, "suppress per-cell progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var spec experiments.ScaleSpec
+	switch *scaleName {
+	case "test":
+		spec = experiments.TestSpec()
+	case "paper":
+		spec = experiments.PaperSpec()
+	default:
+		fmt.Fprintf(stderr, "perfiso-repro: unknown scale %q\n", *scaleName)
+		return 2
+	}
+
+	reg := experiments.DefaultRegistry()
+	if *list {
+		for _, name := range reg.Names() {
+			e, _ := reg.Get(name)
+			fmt.Fprintf(stdout, "%-18s %2d cells  %s\n", name, len(e.Cells(spec)), e.Describe)
+		}
+		return 0
+	}
+
+	var filter *regexp.Regexp
+	if *runPat != "" {
+		var err error
+		if filter, err = regexp.Compile(*runPat); err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: bad -run pattern: %v\n", err)
+			return 2
+		}
+	}
+
+	opts := experiments.RunOptions{Spec: spec, Workers: *workers, Filter: filter}
+	if !*quiet {
+		opts.OnCell = func(exp, cell string, elapsed time.Duration) {
+			fmt.Fprintf(stderr, "done %s/%s (%.2fs)\n", exp, cell, elapsed.Seconds())
+		}
+	}
+	res, err := reg.Run(opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+		return 2
+	}
+
+	for _, e := range res.Experiments {
+		fmt.Fprintf(stdout, "%-18s %2d cells  %6.2fs cell time\n", e.Name, len(e.CellNames), e.CellSeconds)
+		if *tables {
+			fmt.Fprintln(stdout)
+			fmt.Fprintln(stdout, e.Report.Table)
+		}
+	}
+	speedup := 1.0
+	if res.Elapsed.Seconds() > 0 {
+		speedup = res.SequentialSeconds / res.Elapsed.Seconds()
+	}
+	fmt.Fprintf(stdout, "total: %d cells (%d shared) in %.2fs wall (%.2fs sequential-equivalent, %.1f× speedup, %d workers)\n",
+		res.CellCount, res.SharedCells, res.Elapsed.Seconds(), res.SequentialSeconds, speedup, res.Workers)
+
+	// A filtered run covers only part of the evaluation; refuse to
+	// overwrite the default full-run outputs (committed RESULTS.md,
+	// results/<scale>/) unless their flags are passed explicitly.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if *resultsDir != "" {
+		if filter != nil && !explicit["results"] {
+			fmt.Fprintf(stderr, "perfiso-repro: -run filter active; not overwriting %s/%s (pass -results to force)\n", *resultsDir, spec.Name)
+		} else {
+			dir := filepath.Join(*resultsDir, spec.Name)
+			if err := experiments.WriteArtifacts(dir, res); err != nil {
+				fmt.Fprintf(stderr, "perfiso-repro: writing artifacts: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s and %s\n", filepath.Join(dir, "summary.json"), filepath.Join(dir, "cells.csv"))
+		}
+	}
+
+	if *reportPath != "" {
+		// The committed RESULTS.md is the full test-scale report, so a
+		// paper-scale run must not overwrite it by default either.
+		switch {
+		case filter != nil && !explicit["report"]:
+			fmt.Fprintf(stderr, "perfiso-repro: -run filter active; not overwriting %s (pass -report to force)\n", *reportPath)
+		case spec.Name != "test" && !explicit["report"]:
+			fmt.Fprintf(stderr, "perfiso-repro: -scale %s; not overwriting the test-scale %s (pass -report to force)\n", spec.Name, *reportPath)
+		default:
+			if err := os.WriteFile(*reportPath, []byte(experiments.RenderMarkdown(res)), 0o644); err != nil {
+				fmt.Fprintf(stderr, "perfiso-repro: writing report: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *reportPath)
+		}
+	}
+	return 0
+}

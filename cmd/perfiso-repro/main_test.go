@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"fig4", "fig9", "fig10", "headline", "harvest-frontier"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-scale", "huge"}, &out, &errb); code != 2 {
+		t.Fatalf("bad scale: exit %d", code)
+	}
+	if code := run([]string{"-run", "("}, &out, &errb); code != 2 {
+		t.Fatalf("bad regexp: exit %d", code)
+	}
+	if code := run([]string{"-run", "^nothing$", "-report", ""}, &out, &errb); code != 2 {
+		t.Fatalf("empty selection: exit %d", code)
+	}
+}
+
+// TestSmokeArtifacts runs the smallest experiment end to end and
+// checks the JSON/CSV artifacts and the markdown report.
+func TestSmokeArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	tmp := t.TempDir()
+	results := filepath.Join(tmp, "results")
+	report := filepath.Join(tmp, "RESULTS.md")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-scale", "test", "-run", "^headline$", "-workers", "2", "-quiet",
+		"-results", results, "-report", report,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+
+	blob, err := os.ReadFile(filepath.Join(results, "test", "summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Scale       string `json:"scale"`
+		Workers     int    `json:"workers"`
+		CellCount   int    `json:"cell_count"`
+		Experiments []struct {
+			Name  string `json:"name"`
+			Cells []struct {
+				Cell    string             `json:"cell"`
+				Metrics map[string]float64 `json:"metrics"`
+			} `json:"cells"`
+			Table string `json:"table"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(blob, &art); err != nil {
+		t.Fatalf("summary.json: %v", err)
+	}
+	if art.Scale != "test" || art.Workers != 2 || art.CellCount != 2 {
+		t.Fatalf("artifact header: %+v", art)
+	}
+	if len(art.Experiments) != 1 || art.Experiments[0].Name != "headline" {
+		t.Fatalf("experiments: %+v", art.Experiments)
+	}
+	m := art.Experiments[0].Cells[0].Metrics
+	if m["colocated_used_pct"] <= m["standalone_used_pct"] {
+		t.Errorf("colocation did not raise utilization: %+v", m)
+	}
+
+	csvBlob, err := os.ReadFile(filepath.Join(results, "test", "cells.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csvBlob)), "\n")
+	if lines[0] != "experiment,cell,metric,value" {
+		t.Fatalf("csv header: %q", lines[0])
+	}
+	if len(lines) < 3 {
+		t.Fatalf("csv too short: %d lines", len(lines))
+	}
+	for _, line := range lines[1:] {
+		if got := len(strings.Split(line, ",")); got != 4 {
+			t.Errorf("csv row with %d fields: %q", got, line)
+		}
+	}
+
+	md, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "Headline") || !strings.Contains(string(md), "## Full tables") {
+		t.Errorf("report malformed:\n%s", md)
+	}
+}
+
+// TestFilterProtectsDefaultReport checks a filtered run does not
+// clobber the committed RESULTS.md unless -report is explicit.
+func TestFilterProtectsDefaultReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	tmp := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(tmp); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-scale", "test", "-run", "^fig10$", "-quiet", "-results", "results"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if _, err := os.Stat("RESULTS.md"); !os.IsNotExist(err) {
+		t.Error("filtered run wrote RESULTS.md without explicit -report")
+	}
+	if !strings.Contains(errb.String(), "not overwriting") {
+		t.Errorf("missing skip notice on stderr: %s", errb.String())
+	}
+}

@@ -153,6 +153,43 @@ func DefaultHarvestScale() HarvestScale { return experiments.DefaultHarvestScale
 // placement policy (round-robin, least-loaded, harvest-aware).
 func RunHarvestFrontier(s HarvestScale) HarvestFrontier { return experiments.RunHarvestFrontier(s) }
 
+// Experiment is one registered unit of the evaluation: a paper figure
+// or an extension, decomposed into independent seeded cells.
+type Experiment = experiments.Experiment
+
+// ExperimentCell is one independent seeded simulation of an experiment.
+type ExperimentCell = experiments.Cell
+
+// ExperimentRegistry is an ordered, name-keyed set of experiments.
+type ExperimentRegistry = experiments.Registry
+
+// ScaleSpec bundles per-family experiment sizes so one flag drives
+// every registered experiment.
+type ScaleSpec = experiments.ScaleSpec
+
+// RunOptions parameterizes a registry run (scale, workers, filter).
+type RunOptions = experiments.RunOptions
+
+// RunResult is a full registry run: per-experiment reports plus
+// wall-clock and sequential-equivalent timings.
+type RunResult = experiments.RunResult
+
+// DefaultExperimentRegistry returns the registry holding every
+// experiment of the reproduction (Figs. 4–10, headline, extensions).
+func DefaultExperimentRegistry() *ExperimentRegistry { return experiments.DefaultRegistry() }
+
+// TestSpec sizes every experiment for seconds of wall clock.
+func TestSpec() ScaleSpec { return experiments.TestSpec() }
+
+// PaperSpec sizes every experiment at the published §5.3 scale.
+func PaperSpec() ScaleSpec { return experiments.PaperSpec() }
+
+// RunExperiments executes the selected experiments' cells on one
+// shared worker pool; results are bit-identical at any worker count.
+func RunExperiments(opts RunOptions) (RunResult, error) {
+	return experiments.DefaultRegistry().Run(opts)
+}
+
 // TimelineConfig parameterizes the single-machine DES timeline (the
 // discrete-event cross-check of the Fig. 10 fluid model).
 type TimelineConfig = experiments.TimelineConfig

@@ -72,14 +72,33 @@ func runFig9Scenario(scale Fig9Scale, secondary cluster.Secondary, isolate bool)
 	return c.Run(scale.Queries, scale.Warmup, rate, scale.Seed)
 }
 
+// fig9Cells lists the three cluster scenarios as independent cells.
+func fig9Cells(scale Fig9Scale) []Cell {
+	return []Cell{
+		{Name: "standalone", Run: func() any { return runFig9Scenario(scale, cluster.NoSecondary, false) }},
+		{Name: "cpu-bound", Run: func() any { return runFig9Scenario(scale, cluster.CPUSecondary, true) }},
+		{Name: "disk-bound", Run: func() any { return runFig9Scenario(scale, cluster.DiskSecondary, true) }},
+	}
+}
+
+// assembleFig9 folds cell results (fig9Cells order) into the figure.
+func assembleFig9(results []any) Fig9 {
+	return Fig9{
+		Standalone: results[0].(cluster.Result),
+		CPUBound:   results[1].(cluster.Result),
+		DiskBound:  results[2].(cluster.Result),
+	}
+}
+
 // RunFig9 executes all three scenarios: the standalone baseline and the
 // PerfIso-managed CPU-bound and disk-bound colocations.
 func RunFig9(scale Fig9Scale) Fig9 {
-	return Fig9{
-		Standalone: runFig9Scenario(scale, cluster.NoSecondary, false),
-		CPUBound:   runFig9Scenario(scale, cluster.CPUSecondary, true),
-		DiskBound:  runFig9Scenario(scale, cluster.DiskSecondary, true),
-	}
+	return assembleFig9(RunCells(fig9Cells(scale), 0))
+}
+
+// fig10Cells wraps the fluid model as a single cell.
+func fig10Cells() []Cell {
+	return []Cell{{Name: "production-hour", Run: func() any { return RunFig10() }}}
 }
 
 // RunFig10 executes the 650-machine production fluid model (Fig. 10).

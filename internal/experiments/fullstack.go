@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"perfiso/internal/core"
 	"perfiso/internal/netmodel"
 	"perfiso/internal/node"
@@ -30,6 +32,18 @@ type FullStackResult struct {
 // consumers.
 type SingleResultLatency struct {
 	P50Ms, P95Ms, P99Ms float64
+}
+
+// Table renders the full-stack outcome as one labeled block.
+func (r FullStackResult) Table() string {
+	return fmt.Sprintf(`full stack — every governor engaged, all secondaries at once
+latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, drops %.2f%%
+secondaries: cpu-bully %.1f cpu-sec, disk-bully %.1f MB/s, hdfs-client %.1f MB/s, shuffle %.1f MB/s
+cpu: used %.1f%% (secondary %.1f%%)
+`,
+		r.Latency.P50Ms, r.Latency.P95Ms, r.Latency.P99Ms, 100*r.DropRate,
+		r.CPUBullyProgress, r.DiskBullyMBps, r.HDFSClientMBps, r.ShuffleMBps,
+		r.UsedPct, r.SecondaryPct)
 }
 
 // RunFullStack executes the combined scenario at the given load.

@@ -68,6 +68,24 @@ func DefaultHarvestScale() HarvestScale {
 	}
 }
 
+// PaperHarvestScale runs the frontier on the full Fig. 9 topology
+// (22 columns × 2 rows) with a proportionally larger backlog and the
+// same third-of-the-cluster hotspot fraction.
+func PaperHarvestScale() HarvestScale {
+	return HarvestScale{
+		Columns:     22,
+		Queries:     200000,
+		Warmup:      20000,
+		RatePerRow:  4000,
+		Seed:        2017,
+		Jobs:        16,
+		TasksPerJob: 16,
+		TaskWork:    5 * sim.Second,
+		Hotspots:    14,
+		HotspotLoad: 0.55,
+	}
+}
+
 // HarvestPoint is one policy's cell on the throughput-vs-latency
 // frontier.
 type HarvestPoint struct {
@@ -174,14 +192,32 @@ func runHarvestScenario(scale HarvestScale, policy string) HarvestPoint {
 	return p
 }
 
+// harvestCells lists one cell per placement policy.
+func harvestCells(scale HarvestScale) []Cell {
+	var cells []Cell
+	for _, policy := range harvest.PolicyNames() {
+		cells = append(cells, Cell{
+			Name: "policy=" + policy,
+			Run:  func() any { return runHarvestScenario(scale, policy) },
+		})
+	}
+	return cells
+}
+
+// assembleHarvestFrontier folds cell results (harvestCells order) into
+// the frontier.
+func assembleHarvestFrontier(scale HarvestScale, results []any) HarvestFrontier {
+	f := HarvestFrontier{Scale: scale}
+	for _, r := range results {
+		f.Points = append(f.Points, r.(HarvestPoint))
+	}
+	return f
+}
+
 // RunHarvestFrontier runs the experiment once per placement policy and
 // returns the frontier.
 func RunHarvestFrontier(scale HarvestScale) HarvestFrontier {
-	f := HarvestFrontier{Scale: scale}
-	for _, policy := range harvest.PolicyNames() {
-		f.Points = append(f.Points, runHarvestScenario(scale, policy))
-	}
-	return f
+	return assembleHarvestFrontier(scale, RunCells(harvestCells(scale), 0))
 }
 
 // Table renders the frontier.

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// poolSize clamps a requested worker count to something sensible:
+// <= 0 means GOMAXPROCS, and there is no point in more workers than
+// cells.
+func poolSize(workers, cells int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cells {
+		workers = cells
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// RunCells executes cells on a pool of workers goroutines and returns
+// their results in cell order. Every cell owns its engine and seed, so
+// the results are bit-identical to a sequential run — parallelism
+// changes only the wall clock. workers <= 0 uses GOMAXPROCS.
+func RunCells(cells []Cell, workers int) []any {
+	out := make([]any, len(cells))
+	var mu sync.Mutex
+	runCells(cells, workers, func(i int, v any, _ time.Duration) {
+		mu.Lock()
+		out[i] = v
+		mu.Unlock()
+	})
+	return out
+}
+
+// runCells is the pool core: workers goroutines pull cell indices from
+// a shared counter and report each completion (concurrently) through
+// done. A panicking cell stops its worker; the first panic is
+// re-raised on the caller after the remaining workers drain.
+func runCells(cells []Cell, workers int, done func(i int, v any, elapsed time.Duration)) {
+	if len(cells) == 0 {
+		return
+	}
+	workers = poolSize(workers, len(cells))
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicOnce.Do(func() { panicked = p })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				start := time.Now()
+				v := cells[i].Run()
+				done(i, v, time.Since(start))
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

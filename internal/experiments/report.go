@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"perfiso/internal/cluster"
+)
+
+// jsonExperiment is the artifact projection of one experiment.
+type jsonExperiment struct {
+	Name     string    `json:"name"`
+	Describe string    `json:"describe"`
+	Cells    []jsonRow `json:"cells"`
+	Table    string    `json:"table"`
+}
+
+type jsonRow struct {
+	Cell    string             `json:"cell"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type jsonArtifact struct {
+	Scale             string           `json:"scale"`
+	Workers           int              `json:"workers"`
+	CellCount         int              `json:"cell_count"`
+	ElapsedSeconds    float64          `json:"elapsed_seconds"`
+	SequentialSeconds float64          `json:"sequential_seconds"`
+	Experiments       []jsonExperiment `json:"experiments"`
+}
+
+// WriteArtifacts writes the run's machine-readable artifacts under dir:
+// summary.json (everything, including the rendered tables) and
+// cells.csv (long-format experiment,cell,metric,value rows). Timing
+// fields live only here — the markdown report stays byte-deterministic.
+func WriteArtifacts(dir string, res RunResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	art := jsonArtifact{
+		Scale:             res.Spec.Name,
+		Workers:           res.Workers,
+		CellCount:         res.CellCount,
+		ElapsedSeconds:    res.Elapsed.Seconds(),
+		SequentialSeconds: res.SequentialSeconds,
+	}
+	var csv strings.Builder
+	csv.WriteString("experiment,cell,metric,value\n")
+	for _, e := range res.Experiments {
+		je := jsonExperiment{Name: e.Name, Describe: e.Describe, Table: e.Report.Table}
+		for _, row := range e.Report.Rows {
+			jr := jsonRow{Cell: row.Cell, Metrics: map[string]float64{}}
+			for _, m := range row.Metrics {
+				jr.Metrics[m.Name] = m.Value
+				fmt.Fprintf(&csv, "%s,%s,%s,%s\n", e.Name, row.Cell, m.Name,
+					strconv.FormatFloat(m.Value, 'g', -1, 64))
+			}
+			je.Cells = append(je.Cells, jr)
+		}
+		art.Experiments = append(art.Experiments, je)
+	}
+
+	blob, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "summary.json"), append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "cells.csv"), []byte(csv.String()), 0o644)
+}
+
+// comparison is one paper-vs-reproduced row of the report.
+type comparison struct {
+	Figure     string
+	Paper      string
+	Reproduced string
+	Match      bool
+}
+
+func mark(ok bool) string {
+	if ok {
+		return "✓"
+	}
+	return "✗"
+}
+
+// probe guards the comparison lookups against sweep-constant drift: if
+// a probed cell vanishes from a figure (someone edited Loads,
+// fig5Buffers, …), the comparison reports a loud missing-cell row with
+// Match ✗ instead of comparing zero values and passing.
+func probe(cells map[float64]SingleResult, qps float64) (SingleResult, bool) {
+	r, ok := cells[qps]
+	return r, ok && r.Latency.Count > 0
+}
+
+func missing(figure, what string) comparison {
+	return comparison{
+		Figure:     figure,
+		Paper:      what,
+		Reproduced: "probed cell missing — sweep constants changed; update comparisons()",
+		Match:      false,
+	}
+}
+
+// comparisons derives the paper-vs-reproduced table from the typed
+// figure results present in the run. The match bands mirror the
+// calibration tests: they assert the published shape, not the absolute
+// testbed numbers.
+func comparisons(res RunResult) []comparison {
+	var out []comparison
+
+	if v, ok := res.Value("fig4").(Fig4); ok {
+		const paper4 = "unrestricted high secondary: ≈29× P99 degradation, 11–32% of queries dropped (§6.1.2)"
+		base, okBase := probe(v.Cells[BullyOff], 2000)
+		high, okHigh := probe(v.Cells[BullyHigh], 2000)
+		if !okBase || !okHigh {
+			out = append(out, missing("Fig. 4", paper4))
+		} else {
+			ratio := 0.0
+			if base.Latency.P99Ms > 0 {
+				ratio = high.Latency.P99Ms / base.Latency.P99Ms
+			}
+			minDrop, maxDrop := 1.0, 0.0
+			for _, r := range v.Cells[BullyHigh] {
+				if r.DropRate < minDrop {
+					minDrop = r.DropRate
+				}
+				if r.DropRate > maxDrop {
+					maxDrop = r.DropRate
+				}
+			}
+			out = append(out, comparison{
+				Figure:     "Fig. 4",
+				Paper:      paper4,
+				Reproduced: fmt.Sprintf("P99 %.0f× standalone at 2,000 QPS; drops %.0f–%.0f%%", ratio, 100*minDrop, 100*maxDrop),
+				Match:      ratio >= 10 && maxDrop >= 0.03,
+			})
+		}
+	}
+
+	if v, ok := res.Value("fig5").(Fig5); ok {
+		const paper5 = "blind isolation with 8 buffer cores keeps P99 within ~1 ms of standalone (§6.1.3)"
+		r2k, ok2k := probe(v.Cells[8], 2000)
+		r4k, ok4k := probe(v.Cells[8], 4000)
+		b2k, okb2 := probe(v.Baseline, 2000)
+		b4k, okb4 := probe(v.Baseline, 4000)
+		if !ok2k || !ok4k || !okb2 || !okb4 {
+			out = append(out, missing("Fig. 5", paper5))
+		} else {
+			_, _, d2k := r2k.DegradationMs(b2k)
+			_, _, d4k := r4k.DegradationMs(b4k)
+			out = append(out, comparison{
+				Figure:     "Fig. 5",
+				Paper:      paper5,
+				Reproduced: fmt.Sprintf("∆P99 %+.2f ms at 2,000 QPS, %+.2f ms at 4,000 QPS", d2k, d4k),
+				Match:      d2k <= 1.0 && d4k <= 1.0,
+			})
+		}
+	}
+
+	if v, ok := res.Value("fig6").(Fig6); ok {
+		const paper6 = "8 static secondary cores protect the tail at peak; 24 do not (§6.1.3, Fig. 6a)"
+		r8, ok8 := probe(v.Cells[8], 4000)
+		r24, ok24 := probe(v.Cells[24], 4000)
+		b4k, okb := probe(v.Baseline, 4000)
+		if !ok8 || !ok24 || !okb {
+			out = append(out, missing("Fig. 6", paper6))
+		} else {
+			_, _, d8 := r8.DegradationMs(b4k)
+			_, _, d24 := r24.DegradationMs(b4k)
+			out = append(out, comparison{
+				Figure:     "Fig. 6",
+				Paper:      paper6,
+				Reproduced: fmt.Sprintf("∆P99 at 4,000 QPS: cores=8 %+.2f ms, cores=24 %+.2f ms", d8, d24),
+				Match:      d8 < d24 && d8 <= 4,
+			})
+		}
+	}
+
+	if v, ok := res.Value("fig7").(Fig7); ok {
+		const paper7 = "even a 5% cycle cap visibly degrades the tail, and larger caps are worse (§6.1.3)"
+		base, okb := probe(v.Baseline, 2000)
+		r5, ok5 := probe(v.Cells[0.05], 2000)
+		r45, ok45 := probe(v.Cells[0.45], 2000)
+		if !okb || !ok5 || !ok45 {
+			out = append(out, missing("Fig. 7", paper7))
+		} else {
+			_, _, d5 := r5.DegradationMs(base)
+			out = append(out, comparison{
+				Figure:     "Fig. 7",
+				Paper:      paper7,
+				Reproduced: fmt.Sprintf("∆P99 at 2,000 QPS: cap=5%% %+.2f ms; cap=45%% P99 %.1f ms vs cap=5%% %.1f ms", d5, r45.Latency.P99Ms, r5.Latency.P99Ms),
+				Match:      d5 >= 1 && r45.Latency.P99Ms >= r5.Latency.P99Ms,
+			})
+		}
+	}
+
+	if v, ok := res.Value("fig8").(Fig8); ok {
+		blind, cores, cycles := v.ProgressShares()
+		out = append(out, comparison{
+			Figure:     "Fig. 8",
+			Paper:      "secondary progress vs unrestricted: blind 62%, cores 45%, cycles 9% (§6.1.4)",
+			Reproduced: fmt.Sprintf("blind %.0f%%, cores %.0f%%, cycles %.0f%%", 100*blind, 100*cores, 100*cycles),
+			Match:      blind > cores && cores > cycles && cycles <= 0.25,
+		})
+	}
+
+	if v, ok := res.Value("headline").(Headline); ok {
+		out = append(out, comparison{
+			Figure:     "Headline",
+			Paper:      "average CPU utilization rises from 21% to 66% for co-located servers (§1)",
+			Reproduced: fmt.Sprintf("%.0f%% → %.0f%% (secondary %.0f%%)", v.StandaloneUsedPct, v.ColocatedUsedPct, v.SecondaryPct),
+			Match: v.StandaloneUsedPct >= 10 && v.StandaloneUsedPct <= 35 &&
+				v.ColocatedUsedPct >= 55 && v.ColocatedUsedPct <= 90,
+		})
+	}
+
+	if v, ok := res.Value("fig9").(Fig9); ok {
+		s, c, d := v.Standalone.TLA.P99Ms, v.CPUBound.TLA.P99Ms, v.DiskBound.TLA.P99Ms
+		out = append(out, comparison{
+			Figure:     "Fig. 9",
+			Paper:      "cluster tail preserved under PerfIso-managed CPU- and disk-bound secondaries (§6.2)",
+			Reproduced: fmt.Sprintf("TLA P99: standalone %.2f ms, cpu-bound %.2f ms, disk-bound %.2f ms", s, c, d),
+			Match:      s > 0 && c <= 1.5*s && d <= 1.5*s,
+		})
+	}
+
+	if v, ok := res.Value("fig10").(cluster.ProductionResult); ok {
+		out = append(out, comparison{
+			Figure:     "Fig. 10",
+			Paper:      "≈70% average CPU over a production hour with a stable tail (§6.3)",
+			Reproduced: fmt.Sprintf("avg CPU %.1f%%, P99 avg %.1f ms / max %.1f ms", v.AvgCPUUsedPct, v.AvgP99ms, v.MaxP99ms),
+			Match:      v.AvgCPUUsedPct >= 60 && v.AvgCPUUsedPct <= 80 && v.MaxP99ms <= 2*v.AvgP99ms,
+		})
+	}
+
+	return out
+}
+
+// extensionSummaries one-lines the beyond-the-paper experiments.
+func extensionSummaries(res RunResult) []comparison {
+	var out []comparison
+
+	if v, ok := res.Value("timeline").(TimelineResult); ok {
+		out = append(out, comparison{
+			Figure:     "timeline",
+			Paper:      "DES cross-check of the Fig. 10 fluid model on one fully simulated machine",
+			Reproduced: fmt.Sprintf("avg CPU %.1f%%, P99 avg %.1f ms / max %.1f ms over %d windows", v.AvgCPUUsedPct, v.AvgP99ms, v.MaxP99ms, len(v.Samples)),
+			Match:      true,
+		})
+	}
+	if v, ok := res.Value("fullstack").(FullStackResult); ok {
+		out = append(out, comparison{
+			Figure:     "fullstack",
+			Paper:      "every governor engaged against CPU, disk, HDFS and network secondaries at once",
+			Reproduced: fmt.Sprintf("P99 %.2f ms, drops %.2f%%, CPU used %.1f%% (secondary %.1f%%)", v.Latency.P99Ms, 100*v.DropRate, v.UsedPct, v.SecondaryPct),
+			Match:      true,
+		})
+	}
+	if v, ok := res.Value("harvest-frontier").(HarvestFrontier); ok && len(v.Points) > 0 {
+		const what = "capacity-aware placement completes more batch tasks at matching primary P99"
+		byName := map[string]HarvestPoint{}
+		for _, p := range v.Points {
+			byName[p.Policy] = p
+		}
+		rr, okRR := byName["round-robin"]
+		aware, okAware := byName["harvest-aware"]
+		if !okRR || !okAware {
+			out = append(out, missing("harvest-frontier", what))
+		} else {
+			out = append(out, comparison{
+				Figure:     "harvest-frontier",
+				Paper:      what,
+				Reproduced: fmt.Sprintf("tasks: round-robin %d vs harvest-aware %d; server P99 %.2f vs %.2f ms", rr.TasksCompleted, aware.TasksCompleted, rr.Server.P99Ms, aware.Server.P99Ms),
+				Match:      true,
+			})
+		}
+	}
+	return out
+}
+
+// RenderMarkdown renders the reproduction report committed as
+// RESULTS.md. The output is a pure function of the simulation results —
+// no timings, timestamps or host details — so CI can regenerate it and
+// fail on drift.
+func RenderMarkdown(res RunResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# PerfIso reproduction report (scale: %s)\n\n", res.Spec.Name)
+	b.WriteString(`Generated by ` + "`perfiso-repro`" + ` from the deterministic discrete-event
+simulation — every cell below is bit-identical across runs, worker
+counts and machines for a fixed seed. Absolute values differ from the
+paper's Bing testbed (this is a simulator); the **Match** column asserts
+the published *shape* using the same bands as the calibration tests.
+
+`)
+	b.WriteString("## How to regenerate\n\n")
+	fmt.Fprintf(&b, "```\ngo run ./cmd/perfiso-repro -scale %s\n```\n\n", res.Spec.Name)
+	b.WriteString(`This rewrites this file plus the JSON/CSV artifacts under ` + "`results/`" + `.
+Useful flags: ` + "`-run 'fig[45]|headline'`" + ` filters experiments,
+` + "`-workers N`" + ` sizes the cell pool (results are identical at any worker
+count), ` + "`-scale paper`" + ` runs the full published trace sizes, and
+` + "`-list`" + ` shows every registered experiment. CI regenerates this report
+at test scale and fails if it drifts from the committed copy.
+
+`)
+
+	if cmps := comparisons(res); len(cmps) > 0 {
+		b.WriteString("## Paper vs reproduced\n\n")
+		b.WriteString("| Figure | Paper | Reproduced | Match |\n|---|---|---|---|\n")
+		for _, c := range cmps {
+			fmt.Fprintf(&b, "| %s | %s | %s | %s |\n", c.Figure, c.Paper, c.Reproduced, mark(c.Match))
+		}
+		b.WriteString("\n")
+	}
+
+	if exts := extensionSummaries(res); len(exts) > 0 {
+		b.WriteString("## Extensions beyond the paper\n\n")
+		b.WriteString("| Experiment | What it shows | Reproduced |\n|---|---|---|\n")
+		for _, c := range exts {
+			fmt.Fprintf(&b, "| %s | %s | %s |\n", c.Figure, c.Paper, c.Reproduced)
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("## Full tables\n")
+	for _, e := range res.Experiments {
+		fmt.Fprintf(&b, "\n### %s — %s\n\n", e.Name, e.Describe)
+		b.WriteString("```text\n")
+		b.WriteString(strings.TrimRight(e.Report.Table, "\n"))
+		b.WriteString("\n```\n")
+	}
+	return b.String()
+}

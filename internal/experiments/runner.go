@@ -1,10 +1,3 @@
-// Package experiments reproduces every figure of the paper's evaluation
-// (§5–§6): one runner per figure, shared single-machine and cluster
-// fixtures, and table formatting that prints the same rows the paper
-// reports. Absolute values differ from the paper's testbed (this is a
-// simulator, not Bing hardware); the calibration tests assert the
-// published *shape* — who wins, by what rough factor, where the
-// crossovers fall.
 package experiments
 
 import (

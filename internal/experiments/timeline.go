@@ -44,6 +44,14 @@ func DefaultTimelineConfig() TimelineConfig {
 	}
 }
 
+// PaperTimelineConfig runs five simulated minutes — long enough for
+// the diurnal curve to traverse its full swing at one-second windows.
+func PaperTimelineConfig() TimelineConfig {
+	cfg := DefaultTimelineConfig()
+	cfg.Duration = 5 * sim.Minute
+	return cfg
+}
+
 // TimelineSample is one reporting window.
 type TimelineSample struct {
 	At         sim.Time

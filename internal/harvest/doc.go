@@ -1,0 +1,15 @@
+// Package harvest is the cluster-level batch-harvesting scheduler: it
+// turns the per-machine isolation story of PerfIso (§3–§4) into the
+// cluster-wide one of §5 — Autopilot-managed deployments where batch
+// jobs are *placed* onto index machines according to how much CPU each
+// machine can currently spare, instead of being switched on uniformly
+// everywhere.
+//
+// A Job is a bag of independent tasks; each task carries a CPU demand
+// (or a disk-op count for disk-bound jobs) and runs inside the target
+// machine's PerfIso-managed secondary job object, so blind isolation
+// governs which cores it may touch. The Scheduler consumes the
+// harvest-capacity signal the PerfIso controller exports (idle cores
+// beyond the buffer, smoothed on the simulation clock) and places,
+// preempts, and requeues tasks through pluggable placement policies.
+package harvest

@@ -1,19 +1,3 @@
-// Package indexserve models the paper's primary tenant: the Bing web
-// index serving node (§2.1, §5.3). It reproduces the published workload
-// signature rather than any search internals:
-//
-//   - each query spawns a burst of parallel matcher worker threads —
-//     up to 15 become ready within 5 µs;
-//   - standalone response times are milliseconds (P50 ≈ 4 ms,
-//     P99 ≈ 12 ms), identical at 2,000 and 4,000 QPS;
-//   - queries that exceed their deadline return no useful result and
-//     count as dropped;
-//   - when a query falls behind, the service compensates by spawning
-//     extra speculative workers (target-driven parallelism), which
-//     raises primary CPU under interference — the effect visible in
-//     Fig. 4b;
-//   - index reads hit a striped SSD volume on cache misses, and query
-//     logging trickles onto the shared HDD volume.
 package indexserve
 
 import (

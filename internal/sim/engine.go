@@ -1,9 +1,3 @@
-// Package sim provides a deterministic discrete-event simulation engine:
-// a virtual clock, an event heap, and seeded random-number utilities.
-//
-// All PerfIso models (CPU, disk, network, tenants, the controller itself)
-// are driven by a single Engine so that every experiment is reproducible
-// bit-for-bit from its seed.
 package sim
 
 import (

@@ -7,14 +7,15 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_cluster.json}"
 
 raw=$(go test -run '^$' \
-	-bench 'BenchmarkFig9Cluster$|BenchmarkHarvestFrontier$|BenchmarkFig10Production$' \
-	-benchtime 1x -count 1 .)
+	-bench 'BenchmarkFig9Cluster$|BenchmarkHarvestFrontier$|BenchmarkFig10Production$|BenchmarkReproAll' \
+	-benchtime 1x -count 1 -timeout 30m .)
 echo "$raw" >&2
 
 {
 	echo '{'
 	echo "  \"generated_by\": \"scripts/bench.sh\","
 	echo "  \"go\": \"$(go env GOVERSION)\","
+	echo "  \"cpus\": $(getconf _NPROCESSORS_ONLN)," # wall-clocks (esp. ReproAll workers=N) depend on this
 	echo '  "benchmarks": ['
 	echo "$raw" | awk '
 		/^Benchmark/ {
