@@ -1,20 +1,28 @@
-// Command perfiso-trace generates and inspects the binary query traces
-// the experiment runners replay (the counterpart of §5.3's 500k-query
-// production trace).
+// Command perfiso-trace generates and inspects the binary traces the
+// experiment runners replay: PITR query traces for the primary (the
+// counterpart of §5.3's 500k-query production trace) and PIBT
+// batch-task traces for the secondary (per-task CPU/disk demand plus
+// submit time, replayed by the harvest scheduler).
 //
 // Usage:
 //
-//	perfiso-trace gen  -out trace.bin [-queries 500000] [-rate 2000] [-seed 2017]
-//	perfiso-trace info -in trace.bin
-//	perfiso-trace replay -in trace.bin [-warmup N] [-bully N] [-buffer B]
+//	perfiso-trace gen       -out trace.bin [-queries 500000] [-rate 2000] [-seed 2017]
+//	perfiso-trace gen-batch -out batch.bin [-tasks 256] [-rate 16] [-burst 8]
+//	                        [-cpu-mean 4] [-tail-alpha 1.6]
+//	                        [-disk-frac 0.25] [-ops-mean 4000] [-seed 2017]
+//	perfiso-trace info      -in trace.bin
+//	perfiso-trace replay    -in trace.bin [-warmup N] [-bully N] [-buffer B]
 //
-// replay runs the trace against a single simulated node, optionally
-// colocated with a CPU bully under blind isolation, and prints the
-// latency summary — the building block of every Fig. 4–8 cell, driven
-// from a file instead of an in-memory trace.
+// info auto-detects the format from the magic bytes and prints the
+// matching summary. replay runs a query trace against a single
+// simulated node, optionally colocated with a CPU bully under blind
+// isolation, and prints the latency summary — the building block of
+// every Fig. 4–8 cell, driven from a file instead of an in-memory
+// trace.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +40,8 @@ func main() {
 	switch os.Args[1] {
 	case "gen":
 		cmdGen(os.Args[2:])
+	case "gen-batch":
+		cmdGenBatch(os.Args[2:])
 	case "info":
 		cmdInfo(os.Args[2:])
 	case "replay":
@@ -42,7 +52,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: perfiso-trace gen|info|replay [flags]")
+	fmt.Fprintln(os.Stderr, "usage: perfiso-trace gen|gen-batch|info|replay [flags]")
 	os.Exit(2)
 }
 
@@ -53,34 +63,110 @@ func cmdGen(args []string) {
 	rate := fs.Float64("rate", 2000, "arrival rate (QPS)")
 	seed := fs.Uint64("seed", 2017, "generator seed")
 	fs.Parse(args)
-	if *out == "" {
-		fmt.Fprintln(os.Stderr, "perfiso-trace gen: -out is required")
+	requireOut(*out, "gen")
+	trace := workload.GenerateTrace(workload.TraceConfig{Queries: *queries, Rate: *rate, Seed: *seed})
+	writeOut(*out, func(f *os.File) error { return workload.WriteTrace(f, trace) })
+	st := workload.Stats(trace)
+	fmt.Printf("wrote %d queries spanning %.1fs (%.0f QPS) to %s\n",
+		st.Queries, st.Span.Seconds(), st.MeanRate, *out)
+}
+
+func cmdGenBatch(args []string) {
+	fs := flag.NewFlagSet("gen-batch", flag.ExitOnError)
+	out := fs.String("out", "", "output file (required)")
+	tasks := fs.Int("tasks", 256, "trace length (batch tasks)")
+	rate := fs.Float64("rate", 16, "mean submission rate (tasks/s)")
+	burst := fs.Float64("burst", 8, "mean tasks per submission burst")
+	cpuMean := fs.Float64("cpu-mean", 4, "mean per-task CPU demand (seconds)")
+	tailAlpha := fs.Float64("tail-alpha", 1.6, "Pareto shape of the CPU-demand tail (<=1 = exponential)")
+	diskFrac := fs.Float64("disk-frac", 0.25, "fraction of tasks that are disk-bound")
+	opsMean := fs.Int("ops-mean", 4000, "mean ops per disk-bound task")
+	seed := fs.Uint64("seed", 2017, "generator seed")
+	fs.Parse(args)
+	requireOut(*out, "gen-batch")
+	trace := workload.GenerateBatchTrace(workload.BatchTraceConfig{
+		Tasks:        *tasks,
+		Rate:         *rate,
+		BurstMean:    *burst,
+		MeanCPU:      sim.Duration(*cpuMean * float64(sim.Second)),
+		TailAlpha:    *tailAlpha,
+		DiskFraction: *diskFrac,
+		MeanOps:      *opsMean,
+		Seed:         *seed,
+	})
+	writeOut(*out, func(f *os.File) error { return workload.WriteBatchTrace(f, trace) })
+	st := workload.BatchTraceStats(trace)
+	fmt.Printf("wrote %d batch tasks (%d disk-bound) spanning %.1fs (%.1f tasks/s) to %s\n",
+		st.Tasks, st.DiskTasks, st.Span.Seconds(), st.MeanRate, *out)
+}
+
+// requireOut rejects a missing -out before any generation work runs.
+func requireOut(path, sub string) {
+	if path == "" {
+		fmt.Fprintf(os.Stderr, "perfiso-trace %s: -out is required\n", sub)
 		os.Exit(2)
 	}
-	trace := workload.GenerateTrace(workload.TraceConfig{Queries: *queries, Rate: *rate, Seed: *seed})
-	f, err := os.Create(*out)
+}
+
+// writeOut creates path and streams the trace through write.
+func writeOut(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
 	if err != nil {
 		fatal(err)
 	}
 	defer f.Close()
-	if err := workload.WriteTrace(f, trace); err != nil {
+	if err := write(f); err != nil {
 		fatal(err)
 	}
-	st := workload.Stats(trace)
-	fmt.Printf("wrote %d queries spanning %.1fs (%.0f QPS) to %s\n",
-		st.Queries, st.Span.Seconds(), st.MeanRate, *out)
 }
 
 func cmdInfo(args []string) {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("in", "", "trace file (required)")
 	fs.Parse(args)
-	trace := load(*in)
-	st := workload.Stats(trace)
-	fmt.Printf("queries:   %d\n", st.Queries)
-	fmt.Printf("span:      %.2fs\n", st.Span.Seconds())
-	fmt.Printf("mean rate: %.1f QPS\n", st.MeanRate)
-	fmt.Printf("gaps:      min %v, max %v\n", st.MinGap, st.MaxGap)
+	f := openIn(*in)
+	defer f.Close()
+	// Peek the magic through one shared buffered reader so pipes and
+	// other non-seekable inputs work: ReadTrace/ReadBatchTrace accept
+	// any io.Reader and consume the header themselves.
+	br := bufio.NewReader(f)
+	switch magic := peekMagic(br, *in); magic {
+	case "PITR":
+		trace, err := workload.ReadTrace(br)
+		if err != nil {
+			fatal(err)
+		}
+		st := workload.Stats(trace)
+		fmt.Printf("format:    PITR query trace\n")
+		fmt.Printf("queries:   %d\n", st.Queries)
+		fmt.Printf("span:      %.2fs\n", st.Span.Seconds())
+		fmt.Printf("mean rate: %.1f QPS\n", st.MeanRate)
+		fmt.Printf("gaps:      min %v, max %v\n", st.MinGap, st.MaxGap)
+	case "PIBT":
+		trace, err := workload.ReadBatchTrace(br)
+		if err != nil {
+			fatal(err)
+		}
+		st := workload.BatchTraceStats(trace)
+		fmt.Printf("format:    PIBT batch-task trace\n")
+		fmt.Printf("tasks:     %d (%d disk-bound)\n", st.Tasks, st.DiskTasks)
+		fmt.Printf("span:      %.2fs\n", st.Span.Seconds())
+		fmt.Printf("mean rate: %.1f tasks/s\n", st.MeanRate)
+		fmt.Printf("cpu:       total %.1fs, mean %.2fs, max %.2fs\n",
+			st.TotalCPU.Seconds(), st.MeanCPU.Seconds(), st.MaxCPU.Seconds())
+		fmt.Printf("disk ops:  total %d, max %d\n", st.TotalOps, st.MaxOps)
+	default:
+		fatal(fmt.Errorf("%s: unknown trace format (magic %q)", *in, magic))
+	}
+}
+
+// peekMagic returns the four magic bytes without consuming them.
+func peekMagic(br *bufio.Reader, name string) string {
+	magic, err := br.Peek(4)
+	if err != nil {
+		fatal(fmt.Errorf("%s: reading magic: %w", name, err))
+	}
+	return string(magic)
 }
 
 func cmdReplay(args []string) {
@@ -120,7 +206,8 @@ func cmdReplay(args []string) {
 	fmt.Printf("cpu:      %v\n", n.CPU.Breakdown())
 }
 
-func load(path string) []workload.QuerySpec {
+// openIn opens the -in file or exits with usage.
+func openIn(path string) *os.File {
 	if path == "" {
 		fmt.Fprintln(os.Stderr, "perfiso-trace: -in is required")
 		os.Exit(2)
@@ -129,6 +216,11 @@ func load(path string) []workload.QuerySpec {
 	if err != nil {
 		fatal(err)
 	}
+	return f
+}
+
+func load(path string) []workload.QuerySpec {
+	f := openIn(path)
 	defer f.Close()
 	trace, err := workload.ReadTrace(f)
 	if err != nil {

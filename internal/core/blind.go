@@ -29,7 +29,11 @@ type BlindIsolation struct {
 
 	buffer  int
 	holdoff sim.Duration
-	maxSec  int
+	// cfgMax is the configured MaxSecondaryCores (0 = no explicit cap);
+	// maxSec is the effective limit min(cfgMax, cores-buffer), kept in
+	// sync with the buffer as it changes at runtime.
+	cfgMax int
+	maxSec int
 
 	allocated int // S: cores currently granted to the secondary
 	lastGrow  sim.Time
@@ -61,14 +65,6 @@ type BlindIsolation struct {
 // NewBlindIsolation builds the isolator for a secondary job. It does not
 // start polling; call Start.
 func NewBlindIsolation(os *osmodel.OS, job *osmodel.Job, cfg Config) *BlindIsolation {
-	maxSec := cfg.MaxSecondaryCores
-	limit := os.Cores() - cfg.BufferCores
-	if limit < 0 {
-		limit = 0
-	}
-	if maxSec == 0 || maxSec > limit {
-		maxSec = limit
-	}
 	alpha := cfg.HarvestSmoothing
 	if alpha == 0 {
 		alpha = defaultHarvestSmoothing
@@ -78,10 +74,24 @@ func NewBlindIsolation(os *osmodel.OS, job *osmodel.Job, cfg Config) *BlindIsola
 		job:          job,
 		buffer:       cfg.BufferCores,
 		holdoff:      cfg.GrowHoldoff,
-		maxSec:       maxSec,
+		cfgMax:       cfg.MaxSecondaryCores,
 		harvestAlpha: alpha,
 	}
+	b.maxSec = b.secLimit(b.buffer)
 	return b
+}
+
+// secLimit is the effective secondary-core ceiling for a given buffer:
+// cores-buffer, further capped by the configured MaxSecondaryCores.
+func (b *BlindIsolation) secLimit(buffer int) int {
+	limit := b.os.Cores() - buffer
+	if limit < 0 {
+		limit = 0
+	}
+	if b.cfgMax > 0 && b.cfgMax < limit {
+		limit = b.cfgMax
+	}
+	return limit
 }
 
 // defaultHarvestSmoothing is the EWMA coefficient used when the config
@@ -114,18 +124,23 @@ func (b *BlindIsolation) Allocated() int { return b.allocated }
 func (b *BlindIsolation) Buffer() int { return b.buffer }
 
 // SetBuffer changes B at runtime (PerfIso accepts limit-altering
-// commands while running, §4).
+// commands while running, §4). The secondary limit is recomputed from
+// the configured max — so lowering the buffer restores headroom the
+// previous, larger buffer took away — and an over-budget grant is shed
+// immediately rather than on the next unrelated shrink.
 func (b *BlindIsolation) SetBuffer(cores int) {
 	if cores < 0 {
 		cores = 0
 	}
 	b.buffer = cores
-	limit := b.os.Cores() - cores
-	if limit < 0 {
-		limit = 0
-	}
-	if b.maxSec > limit {
-		b.maxSec = limit
+	b.maxSec = b.secLimit(cores)
+	// Shed now if the new limit is below the current grant. Growth into
+	// newly available headroom stays lazy (next polls, holdoff-limited):
+	// only the shrink direction is latency-critical. Under the kill
+	// switch the job intentionally owns the whole machine, so nothing is
+	// applied until Enable.
+	if b.enabled && b.allocated > b.maxSec {
+		b.apply(b.allocated)
 	}
 }
 
@@ -150,10 +165,20 @@ func (b *BlindIsolation) Stop() { b.stopped = true }
 
 // Disable is the kill switch (§4.2): the secondary is released to the
 // full machine and the loop idles until Enable. Production debugging
-// uses this to rule PerfIso out as a cause in one step.
+// uses this to rule PerfIso out as a cause in one step. The grant
+// bookkeeping follows the affinity, so Allocated() and AllocSeries
+// report the full machine — not a stale pre-kill-switch value — while
+// isolation is off.
 func (b *BlindIsolation) Disable() {
 	b.enabled = false
-	b.job.SetAffinity(cpumodel.AllCores(b.os.Cores()))
+	all := b.os.Cores()
+	if all > b.allocated {
+		b.Grows++
+	} else if all < b.allocated {
+		b.Shrinks++
+	}
+	b.allocated = all
+	b.job.SetAffinity(cpumodel.AllCores(all))
 }
 
 // Enable re-engages isolation after a Disable, starting again from a
@@ -178,23 +203,24 @@ func (b *BlindIsolation) Poll() {
 	}
 	b.harvestInstant = h
 	b.harvestEWMA += b.harvestAlpha * (float64(h) - b.harvestEWMA)
-	if !b.enabled {
-		return
-	}
-	switch {
-	case idle < b.buffer:
-		// The primary has eaten into the buffer: shed the full deficit
-		// at once. The poll interval is the rescue latency.
-		b.apply(b.allocated - (b.buffer - idle))
-	case idle > b.buffer:
-		// Spare idleness beyond the buffer: hand one core over, rate
-		// limited by the holdoff.
-		now := b.os.Now()
-		if b.allocated < b.maxSec && (b.lastGrow == 0 || now.Sub(b.lastGrow) >= b.holdoff) {
-			b.apply(b.allocated + 1)
-			b.lastGrow = now
+	if b.enabled {
+		switch {
+		case idle < b.buffer:
+			// The primary has eaten into the buffer: shed the full
+			// deficit at once. The poll interval is the rescue latency.
+			b.apply(b.allocated - (b.buffer - idle))
+		case idle > b.buffer:
+			// Spare idleness beyond the buffer: hand one core over, rate
+			// limited by the holdoff.
+			now := b.os.Now()
+			if b.allocated < b.maxSec && (b.lastGrow == 0 || now.Sub(b.lastGrow) >= b.holdoff) {
+				b.apply(b.allocated + 1)
+				b.lastGrow = now
+			}
 		}
 	}
+	// Sampling continues under the kill switch so the series shows the
+	// full-machine grant instead of a gap with a stale final value.
 	if b.AllocSeries != nil && b.sampleEvery > 0 && b.Polls%b.sampleEvery == 0 {
 		b.AllocSeries.Add(b.os.Now(), float64(b.allocated))
 	}

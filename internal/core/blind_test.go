@@ -168,6 +168,136 @@ func TestBlindSetBufferTakesEffect(t *testing.T) {
 	}
 }
 
+// TestBlindSetBufferRaiseShedsImmediately covers the over-budget-grant
+// regression: raising the buffer lowers the secondary limit, and an
+// allocation above the new limit must be shed by the SetBuffer call
+// itself — not parked until an unrelated shrink. The 20-thread bully
+// keeps 28 cores idle, so after the raise the poll loop sees
+// idle > buffer and would never enter its shrink path on its own.
+func TestBlindSetBufferRaiseShedsImmediately(t *testing.T) {
+	n := newTestNode(t)
+	job := n.os.CreateJob("secondary")
+	bully := n.startBully(20)
+	job.Assign(bully.Proc)
+	cfg := DefaultConfig()
+	cfg.BufferCores = 8
+	b := NewBlindIsolation(n.os, job, cfg)
+	b.Start(cfg.PollInterval)
+	n.runFor(2 * sim.Second)
+	if got := b.Allocated(); got != 40 {
+		t.Fatalf("precondition: allocation = %d, want 40", got)
+	}
+	b.SetBuffer(22)
+	if got := b.Allocated(); got != 26 {
+		t.Fatalf("allocation = %d immediately after SetBuffer(22), want 26 (48-22)", got)
+	}
+	n.runFor(10 * sim.Millisecond)
+	if got := b.Allocated(); got != 26 {
+		t.Fatalf("allocation = %d shortly after SetBuffer(22), want 26", got)
+	}
+	n.cpu.CheckInvariants()
+}
+
+// TestBlindSetBufferLowerRestoresHeadroom covers the one-way-clamp
+// regression: a raise used to shrink maxSec permanently, so a
+// subsequent lower never gave the freed cores back to the secondary.
+func TestBlindSetBufferLowerRestoresHeadroom(t *testing.T) {
+	n, b, _ := newBlindFixture(t, 16)
+	n.runFor(2 * sim.Second)
+	if got := b.Allocated(); got != 32 {
+		t.Fatalf("precondition: allocation = %d with buffer 16, want 32", got)
+	}
+	b.SetBuffer(8)
+	// The raised limit is live on the very next poll: with 16 cores
+	// idle against the new 8-core buffer, the first grow lands within
+	// one holdoff period instead of never.
+	n.runFor(2 * sim.Millisecond)
+	if got := b.Allocated(); got <= 32 {
+		t.Fatalf("allocation = %d two holdoffs after lowering the buffer; headroom still clamped", got)
+	}
+	n.runFor(2 * sim.Second)
+	if got := b.Allocated(); got != 40 {
+		t.Fatalf("allocation = %d after lowering the buffer to 8, want 40", got)
+	}
+	if idle := n.os.IdleCores(); idle != 8 {
+		t.Fatalf("idle = %d after lowering the buffer to 8, want 8", idle)
+	}
+	n.cpu.CheckInvariants()
+}
+
+// TestBlindSetBufferRespectsConfiguredMax checks the recomputed limit
+// still honors MaxSecondaryCores through raise/lower cycles.
+func TestBlindSetBufferRespectsConfiguredMax(t *testing.T) {
+	n := newTestNode(t)
+	job := n.os.CreateJob("secondary")
+	bully := n.startBully(48)
+	job.Assign(bully.Proc)
+	cfg := DefaultConfig()
+	cfg.BufferCores = 8
+	cfg.MaxSecondaryCores = 20
+	b := NewBlindIsolation(n.os, job, cfg)
+	b.Start(cfg.PollInterval)
+	n.runFor(2 * sim.Second)
+	if got := b.Allocated(); got != 20 {
+		t.Fatalf("allocation = %d under cap 20, want 20", got)
+	}
+	// Raising and lowering the buffer must not unlock the configured cap.
+	b.SetBuffer(40)
+	if got := b.Allocated(); got != 8 {
+		t.Fatalf("allocation = %d after SetBuffer(40), want 8 (48-40)", got)
+	}
+	b.SetBuffer(4)
+	n.runFor(2 * sim.Second)
+	if got := b.Allocated(); got != 20 {
+		t.Fatalf("allocation = %d after lowering back below the cap, want 20", got)
+	}
+}
+
+// TestBlindDisableReconcilesBookkeeping covers the stale-grant
+// regression: under the kill switch the job owns the whole machine, so
+// Allocated() and the allocation series must say so rather than
+// repeating the last isolated grant.
+func TestBlindDisableReconcilesBookkeeping(t *testing.T) {
+	n := newTestNode(t)
+	job := n.os.CreateJob("secondary")
+	bully := n.startBully(48)
+	job.Assign(bully.Proc)
+	cfg := DefaultConfig()
+	b := NewBlindIsolation(n.os, job, cfg)
+	b.RecordAllocation(100)
+	b.Start(cfg.PollInterval)
+	n.runFor(1 * sim.Second)
+	if got := b.Allocated(); got != 40 {
+		t.Fatalf("precondition: allocation = %d, want 40", got)
+	}
+
+	grows := b.Grows
+	b.Disable()
+	if got := b.Allocated(); got != 48 {
+		t.Fatalf("Allocated() = %d under kill switch, want 48 (full machine)", got)
+	}
+	if b.Grows != grows+1 {
+		t.Fatalf("Disable's affinity update not counted: grows %d -> %d", grows, b.Grows)
+	}
+	n.runFor(100 * sim.Millisecond)
+	if got := b.AllocSeries.Max(); got != 48 {
+		t.Fatalf("allocation series max = %.0f while disabled, want 48", got)
+	}
+
+	shrinks := b.Shrinks
+	b.Enable()
+	if got := b.Allocated(); got != 0 {
+		t.Fatalf("Allocated() = %d immediately after Enable, want 0", got)
+	}
+	if b.Shrinks != shrinks+1 {
+		t.Fatalf("Enable's affinity update not counted: shrinks %d -> %d", shrinks, b.Shrinks)
+	}
+	n.runFor(2 * sim.Second)
+	if got := b.Allocated(); got != 40 {
+		t.Fatalf("allocation = %d after re-enable settling, want 40", got)
+	}
+}
+
 func TestBlindMaxSecondaryCoresCap(t *testing.T) {
 	n := newTestNode(t)
 	job := n.os.CreateJob("secondary")

@@ -113,9 +113,28 @@ type HarvestFrontier struct {
 }
 
 // runHarvestScenario assembles one cluster under PerfIso, overlays the
-// hotspot load, submits the batch backlog through an Autopilot-managed
-// harvest scheduler, and replays the query trace.
+// hotspot load, submits the synthetic batch backlog through an
+// Autopilot-managed harvest scheduler, and replays the query trace.
 func runHarvestScenario(scale HarvestScale, policy string) HarvestPoint {
+	return runHarvestScenarioWith(scale, policy, func(sched *harvest.Scheduler) {
+		for j := 0; j < scale.Jobs; j++ {
+			if _, err := sched.Submit(harvest.JobSpec{
+				Name:     fmt.Sprintf("batch-%d", j),
+				Tasks:    scale.TasksPerJob,
+				TaskWork: scale.TaskWork,
+				Kind:     cluster.CPUSecondary,
+			}); err != nil {
+				panic(err)
+			}
+		}
+	})
+}
+
+// runHarvestScenarioWith is the scenario core shared by the synthetic
+// frontier and the trace-replay frontier: feed installs the batch
+// workload (a backlog dump or a trace feeder) once the scheduler is
+// running.
+func runHarvestScenarioWith(scale HarvestScale, policy string, feed func(*harvest.Scheduler)) HarvestPoint {
 	eng := sim.NewEngine()
 	ccfg := cluster.ScaledConfig(scale.Columns)
 	ccfg.Seed = scale.Seed
@@ -154,16 +173,7 @@ func runHarvestScenario(scale HarvestScale, policy string) HarvestPoint {
 		panic(err)
 	}
 	sched := svc.Scheduler()
-	for j := 0; j < scale.Jobs; j++ {
-		if _, err := sched.Submit(harvest.JobSpec{
-			Name:     fmt.Sprintf("batch-%d", j),
-			Tasks:    scale.TasksPerJob,
-			TaskWork: scale.TaskWork,
-			Kind:     cluster.CPUSecondary,
-		}); err != nil {
-			panic(err)
-		}
-	}
+	feed(sched)
 
 	if scale.FailAt > 0 {
 		eng.At(sim.Time(scale.FailAt), func() { c.FailMachine(scale.FailRow, scale.FailCol) })
@@ -192,12 +202,21 @@ func runHarvestScenario(scale HarvestScale, policy string) HarvestPoint {
 	return p
 }
 
+// syntheticHarvestKey marks a synthetic-backlog frontier cell as
+// interchangeable across experiments: harvest-frontier and the
+// trace-replay comparison both need the same seeded simulation, so the
+// registry runs it once and shares the result.
+func syntheticHarvestKey(policy string) string {
+	return "harvest-synthetic/policy=" + policy
+}
+
 // harvestCells lists one cell per placement policy.
 func harvestCells(scale HarvestScale) []Cell {
 	var cells []Cell
 	for _, policy := range harvest.PolicyNames() {
 		cells = append(cells, Cell{
 			Name: "policy=" + policy,
+			Key:  syntheticHarvestKey(policy),
 			Run:  func() any { return runHarvestScenario(scale, policy) },
 		})
 	}

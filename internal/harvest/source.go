@@ -1,0 +1,80 @@
+package harvest
+
+import (
+	"fmt"
+
+	"perfiso/internal/cluster"
+	"perfiso/internal/sim"
+	"perfiso/internal/workload"
+)
+
+// TraceFeeder replays a batch-task trace into a Scheduler: each record
+// becomes one single-task job submitted at its recorded offset on the
+// simulation clock, so the scheduler sees the trace's real submission
+// bursts and heavy-tailed demand instead of a synthetic backlog dumped
+// at time zero. Replay is open-loop, like the primary's query-trace
+// client: submissions do not wait for completions.
+type TraceFeeder struct {
+	eng   *sim.Engine
+	sched *Scheduler
+	trace []workload.BatchTaskSpec
+
+	started bool
+	// Submitted counts jobs handed to the scheduler so far.
+	Submitted int
+}
+
+// NewTraceFeeder builds a replayer over the scheduler's cluster clock.
+// The trace is validated eagerly — every record must map to a
+// submittable job — so a bad trace fails at construction, not halfway
+// through a run.
+func NewTraceFeeder(sched *Scheduler, trace []workload.BatchTaskSpec) (*TraceFeeder, error) {
+	for i, t := range trace {
+		if err := traceJobSpec(t).Validate(); err != nil {
+			return nil, fmt.Errorf("harvest: trace record %d: %w", i, err)
+		}
+	}
+	return &TraceFeeder{eng: sched.c.Eng, sched: sched, trace: trace}, nil
+}
+
+// traceJobSpec maps one trace record onto a single-task job. A record
+// with disk-op demand replays as a disk-bound task (any CPU field is
+// ignored — the scheduler's tasks are single-flavor); everything else
+// replays as a CPU-bound task.
+func traceJobSpec(t workload.BatchTaskSpec) JobSpec {
+	spec := JobSpec{Name: fmt.Sprintf("trace-%d", t.ID), Tasks: 1}
+	if t.DiskOps > 0 {
+		spec.Kind = cluster.DiskSecondary
+		spec.TaskOps = t.DiskOps
+		return spec
+	}
+	spec.Kind = cluster.CPUSecondary
+	spec.TaskWork = t.CPU
+	return spec
+}
+
+// Start schedules every submission. Records whose submit time is
+// already in the past (e.g. a trace starting at zero fed after warmup)
+// are submitted at the current simulation time, preserving order.
+func (f *TraceFeeder) Start() {
+	if f.started {
+		panic("harvest: trace feeder started twice")
+	}
+	f.started = true
+	for _, t := range f.trace {
+		at := t.Submit
+		if now := f.eng.Now(); at < now {
+			at = now
+		}
+		f.eng.At(at, func() {
+			if _, err := f.sched.Submit(traceJobSpec(t)); err != nil {
+				// Validated at construction; a failure here is a bug.
+				panic(fmt.Sprintf("harvest: replaying trace record %d: %v", t.ID, err))
+			}
+			f.Submitted++
+		})
+	}
+}
+
+// Tasks reports the trace length.
+func (f *TraceFeeder) Tasks() int { return len(f.trace) }

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"perfiso/internal/sim"
+)
+
+// Batch-trace files are the PIBT sibling of the PITR query-trace
+// format: where PITR records replay the *primary's* production trace
+// (§5.3), PIBT records replay the *secondary's* — per-task CPU-seconds
+// or disk-op demand plus a submit offset, so harvest-scheduler
+// experiments can run against real batch workload shapes instead of
+// synthetic parameter sweeps.
+//
+// Layout (little-endian):
+//
+//	magic   [4]byte  "PIBT"
+//	version uint32   1
+//	count   uint64
+//	records count × { submit int64 (ns), cpu int64 (ns), ops uint32 }
+//
+// Task IDs are positional and therefore not stored. Records use the
+// same fixed-buffer encoding as PITR — no reflection on the record
+// path.
+
+var batchTraceMagic = [4]byte{'P', 'I', 'B', 'T'}
+
+// batchTraceVersion is the current batch-trace format version.
+const batchTraceVersion = 1
+
+// batchRecordLen is the encoded size of one BatchTaskSpec record.
+const batchRecordLen = 8 + 8 + 4 // submit + cpu + ops
+
+// WriteBatchTrace serializes a batch trace to w. It enforces the same
+// record invariants ReadBatchTrace checks — monotonic submits, every
+// task demanding something — so an invalid trace fails at write time
+// instead of producing a file that can never be read back.
+func WriteBatchTrace(w io.Writer, trace []BatchTaskSpec) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, batchTraceMagic, batchTraceVersion, uint64(len(trace))); err != nil {
+		return fmt.Errorf("workload: writing batch-trace header: %w", err)
+	}
+	var rec [batchRecordLen]byte
+	var prev sim.Time
+	for i, t := range trace {
+		if t.DiskOps < 0 || uint64(t.DiskOps) > math.MaxUint32 {
+			return fmt.Errorf("workload: record %d disk-op demand %d unencodable", i, t.DiskOps)
+		}
+		if t.CPU < 0 {
+			return fmt.Errorf("workload: record %d negative CPU demand %v", i, t.CPU)
+		}
+		if t.CPU == 0 && t.DiskOps == 0 {
+			return fmt.Errorf("workload: record %d demands nothing", i)
+		}
+		if t.Submit < prev {
+			return fmt.Errorf("workload: record %d submit %v before previous %v", i, t.Submit, prev)
+		}
+		prev = t.Submit
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(int64(t.Submit)))
+		binary.LittleEndian.PutUint64(rec[8:16], uint64(int64(t.CPU)))
+		binary.LittleEndian.PutUint32(rec[16:20], uint32(t.DiskOps))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("workload: writing record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBatchTrace deserializes a batch trace from r, validating the
+// header, monotonic submit order, and per-record demand sanity (every
+// task must demand something; CPU demand must be non-negative).
+func ReadBatchTrace(r io.Reader) ([]BatchTaskSpec, error) {
+	br := bufio.NewReader(r)
+	count, err := readHeader(br, batchTraceMagic, batchTraceVersion, "batch trace")
+	if err != nil {
+		return nil, err
+	}
+	const maxTrace = 1 << 28 // 268M tasks ≈ 5 GiB of records
+	if count > maxTrace {
+		return nil, fmt.Errorf("workload: batch-trace count %d exceeds limit", count)
+	}
+	out := make([]BatchTaskSpec, count)
+	var rec [batchRecordLen]byte
+	var prev sim.Time
+	for i := range out {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("workload: reading record %d: %w", i, err)
+		}
+		at := sim.Time(int64(binary.LittleEndian.Uint64(rec[0:8])))
+		cpu := sim.Duration(int64(binary.LittleEndian.Uint64(rec[8:16])))
+		ops := int(binary.LittleEndian.Uint32(rec[16:20]))
+		if at < prev {
+			return nil, fmt.Errorf("workload: record %d submit %v before previous %v", i, at, prev)
+		}
+		if cpu < 0 {
+			return nil, fmt.Errorf("workload: record %d negative CPU demand %v", i, cpu)
+		}
+		if cpu == 0 && ops == 0 {
+			return nil, fmt.Errorf("workload: record %d demands nothing", i)
+		}
+		prev = at
+		out[i] = BatchTaskSpec{ID: i, Submit: at, CPU: cpu, DiskOps: ops}
+	}
+	return out, nil
+}

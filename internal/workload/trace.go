@@ -83,9 +83,14 @@ func GenerateCurvedTrace(duration sim.Duration, rate func(sec float64) float64, 
 	if duration <= 0 {
 		panic("workload: non-positive trace duration")
 	}
-	// Find the peak rate to thin against.
+	// Find the peak rate to thin against. The scan must include the
+	// endpoint: a curve peaking at (or near) the end of the span would
+	// otherwise be thinned against an underestimate, silently capping
+	// the generated rate below the curve's.
+	const peakScan = 1000
 	peak := 0.0
-	for s := 0.0; s < duration.Seconds(); s += duration.Seconds() / 1000 {
+	for i := 0; i <= peakScan; i++ {
+		s := duration.Seconds() * float64(i) / peakScan
 		if r := rate(s); r > peak {
 			peak = r
 		}
@@ -102,8 +107,14 @@ func GenerateCurvedTrace(duration sim.Duration, rate func(sec float64) float64, 
 		if at > sim.Time(duration) {
 			break
 		}
-		// Thin: accept with probability rate(t)/peak.
-		if r.Float64() <= rate(at.Seconds())/peak {
+		// Thin: accept with probability rate(t)/peak, clamped to [0,1] —
+		// between scan samples the curve may still exceed the estimated
+		// peak, and a ratio above 1 is not a probability.
+		p := rate(at.Seconds()) / peak
+		if p > 1 {
+			p = 1
+		}
+		if r.Float64() <= p {
 			out = append(out, QuerySpec{ID: len(out), Arrival: at, Seed: r.Uint64()})
 		}
 	}

@@ -46,6 +46,53 @@ func TestGenerateTraceDeterminism(t *testing.T) {
 	}
 }
 
+// TestGenerateCurvedTraceLatePeak covers the endpoint regression: a
+// curve peaking in the final fraction of the span used to be thinned
+// against a peak estimate whose scan (`s < duration` with accumulated
+// float steps) never sampled the endpoint, silently capping the
+// generated rate at the underestimate. The curve here sits at 100 QPS
+// and ramps to 2,000 QPS over the last 0.05 s of a 60 s span —
+// entirely inside the window the old scan skipped (its last sample
+// for a 60 s span lands at 59.94 s).
+func TestGenerateCurvedTraceLatePeak(t *testing.T) {
+	const span = 60.0
+	rate := func(s float64) float64 {
+		if s <= span-0.05 {
+			return 100
+		}
+		return 100 + 1900*(s-(span-0.05))/0.05
+	}
+	trace := GenerateCurvedTrace(60*sim.Second, rate, 2017)
+
+	// Expected arrivals in the final 0.05 s: ∫rate ≈ 52.5. The old
+	// peak-of-100 underestimate could generate at most ~5 there.
+	tail := 0
+	for _, q := range trace {
+		if q.Arrival.Seconds() > span-0.05 {
+			tail++
+		}
+	}
+	if tail < 25 {
+		t.Fatalf("%d arrivals in the final 0.05s, want ≈52 (late peak thinned away)", tail)
+	}
+	// The flat 100-QPS body must still be ≈100 QPS — the higher peak
+	// thins harder but the accepted rate must not change.
+	body := 0
+	for _, q := range trace {
+		if q.Arrival.Seconds() <= 30 {
+			body++
+		}
+	}
+	if bodyRate := float64(body) / 30; bodyRate < 85 || bodyRate > 115 {
+		t.Fatalf("body rate = %.1f QPS, want ≈100", bodyRate)
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Arrival < trace[i-1].Arrival {
+			t.Fatal("arrivals not monotonic")
+		}
+	}
+}
+
 func TestGenerateTraceEdgeCases(t *testing.T) {
 	if GenerateTrace(TraceConfig{Queries: 0, Rate: 100}) != nil {
 		t.Fatal("empty trace not nil")
