@@ -218,7 +218,9 @@ func BenchmarkReproAll(b *testing.B) {
 
 // BenchmarkAblationBufferCores sweeps B beyond the paper's {4,8}: the
 // DESIGN.md ablation on how much buffer the tail actually needs versus
-// how much harvest it costs.
+// how much harvest it costs. The registered `ablation-buffer`
+// experiment is this sweep's pooled, sharded, RESULTS.md-visible port;
+// the benchmark remains for ad-hoc -benchtime exploration.
 func BenchmarkAblationBufferCores(b *testing.B) {
 	for _, buf := range []int{0, 2, 4, 8, 12, 16} {
 		b.Run(fmt.Sprintf("buffer=%d", buf), func(b *testing.B) {

@@ -8,38 +8,171 @@
 // It emits JSON/CSV artifacts under -results and renders the markdown
 // reproduction report committed as RESULTS.md (drift-gated in CI).
 //
+// The run also shards across processes and machines without losing
+// determinism (see internal/shard):
+//
+//	perfiso-repro manifest [-scale S] [-run REGEX] [-plan N] [-o FILE]
+//	perfiso-repro run -shard i/N [-partial FILE] [flags]
+//	perfiso-repro merge -shards DIR [flags]
+//
+// manifest enumerates the cells of a filtered run without executing
+// anything; run -shard i/N executes the i-th of N cost-balanced shards
+// (zero-based) and writes a partial artifact; merge verifies a set of
+// partials covers the manifest exactly and reassembles artifacts
+// byte-identical to a single-process run.
+//
 // Usage:
 //
-//	perfiso-repro [-list] [-run REGEX] [-scale test|paper] [-workers N]
-//	              [-results DIR] [-report FILE] [-tables] [-quiet]
+//	perfiso-repro [run] [-list] [-run REGEX] [-scale test|paper]
+//	              [-workers N] [-results DIR] [-report FILE]
+//	              [-shard i/N] [-partial FILE] [-tables] [-quiet]
 //
 // Examples:
 //
 //	perfiso-repro -list
 //	perfiso-repro -scale test                  # regenerate RESULTS.md + results/
 //	perfiso-repro -run 'fig[45]|headline' -tables
-//	perfiso-repro -scale paper -workers 16
+//	perfiso-repro manifest -scale paper -plan 4
+//	perfiso-repro run -scale test -shard 0/3
+//	perfiso-repro merge -scale test -shards results/test/shards
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
+	"strings"
 	"time"
 
 	"perfiso/internal/experiments"
+	"perfiso/internal/shard"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run is main without the process exit, so tests can drive it.
+// run is main without the process exit, so tests can drive it. A bare
+// flag list is the run subcommand, for compatibility with the
+// pre-shard CLI.
 func run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("perfiso-repro", flag.ContinueOnError)
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		sub, rest := args[0], args[1:]
+		switch sub {
+		case "run":
+			return runCmd(rest, stdout, stderr)
+		case "manifest":
+			return manifestCmd(rest, stdout, stderr)
+		case "merge":
+			return mergeCmd(rest, stdout, stderr)
+		default:
+			fmt.Fprintf(stderr, "perfiso-repro: unknown subcommand %q (want run, manifest or merge)\n", sub)
+			return 2
+		}
+	}
+	return runCmd(args, stdout, stderr)
+}
+
+// parseScale resolves -scale.
+func parseScale(name string, stderr io.Writer) (experiments.ScaleSpec, bool) {
+	switch name {
+	case "test":
+		return experiments.TestSpec(), true
+	case "paper":
+		return experiments.PaperSpec(), true
+	}
+	fmt.Fprintf(stderr, "perfiso-repro: unknown scale %q\n", name)
+	return experiments.ScaleSpec{}, false
+}
+
+// parseShard parses -shard "i/N" (zero-based i). The whole token must
+// parse — trailing garbage would silently run the wrong partition.
+func parseShard(s string) (idx, count int, err error) {
+	is, ns, ok := strings.Cut(s, "/")
+	if ok {
+		idx, err = strconv.Atoi(is)
+		if err == nil {
+			count, err = strconv.Atoi(ns)
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q, want i/N (e.g. 0/3)", s)
+	}
+	if count < 1 || idx < 0 || idx >= count {
+		return 0, 0, fmt.Errorf("bad -shard %q: index must be in [0, %d)", s, count)
+	}
+	return idx, count, nil
+}
+
+// emitOutputs writes the deterministic artifacts, the timing sidecar
+// and the markdown report, honoring the explicit-flag guards that keep
+// filtered or paper-scale runs from clobbering the committed outputs.
+func emitOutputs(res experiments.RunResult, timing experiments.RunTiming, explicit map[string]bool,
+	filterActive bool, resultsDir, reportPath string, stdout, stderr io.Writer) int {
+	spec := res.Spec
+	if resultsDir != "" {
+		if filterActive && !explicit["results"] {
+			fmt.Fprintf(stderr, "perfiso-repro: -run filter active; not overwriting %s/%s (pass -results to force)\n", resultsDir, spec.Name)
+		} else {
+			dir := filepath.Join(resultsDir, spec.Name)
+			if err := experiments.WriteArtifacts(dir, res); err != nil {
+				fmt.Fprintf(stderr, "perfiso-repro: writing artifacts: %v\n", err)
+				return 1
+			}
+			if err := experiments.WriteTiming(dir, timing); err != nil {
+				fmt.Fprintf(stderr, "perfiso-repro: writing timing: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s, %s and %s\n", filepath.Join(dir, "summary.json"),
+				filepath.Join(dir, "cells.csv"), filepath.Join(dir, "timing.json"))
+		}
+	}
+
+	if reportPath != "" {
+		// The committed RESULTS.md is the full test-scale report, so a
+		// paper-scale run must not overwrite it by default either.
+		switch {
+		case filterActive && !explicit["report"]:
+			fmt.Fprintf(stderr, "perfiso-repro: -run filter active; not overwriting %s (pass -report to force)\n", reportPath)
+		case spec.Name != "test" && !explicit["report"]:
+			fmt.Fprintf(stderr, "perfiso-repro: -scale %s; not overwriting the test-scale %s (pass -report to force)\n", spec.Name, reportPath)
+		default:
+			if err := os.WriteFile(reportPath, []byte(experiments.RenderMarkdown(res)), 0o644); err != nil {
+				fmt.Fprintf(stderr, "perfiso-repro: writing report: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", reportPath)
+		}
+	}
+	return 0
+}
+
+// printRun summarizes a run on stdout like the pre-shard CLI.
+func printRun(res experiments.RunResult, timing experiments.RunTiming, tables bool, stdout io.Writer) {
+	for _, e := range res.Experiments {
+		fmt.Fprintf(stdout, "%-22s %2d cells  %6.2fs cell time\n", e.Name, len(e.CellNames), e.CellSeconds)
+		if tables {
+			fmt.Fprintln(stdout)
+			fmt.Fprintln(stdout, e.Report.Table)
+		}
+	}
+	speedup := 1.0
+	if timing.ElapsedSeconds > 0 {
+		speedup = timing.SequentialSeconds / timing.ElapsedSeconds
+	}
+	fmt.Fprintf(stdout, "total: %d cells (%d shared) in %.2fs wall (%.2fs sequential-equivalent, %.1f× speedup)\n",
+		res.CellCount, res.SharedCells, timing.ElapsedSeconds, timing.SequentialSeconds, speedup)
+}
+
+// runCmd is the (default) run subcommand: the whole filtered
+// evaluation in-process, or one shard of it with -shard i/N.
+func runCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("perfiso-repro run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list registered experiments and exit")
 	runPat := fs.String("run", "", "regexp selecting experiments to run (default: all)")
@@ -47,20 +180,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "cell worker-pool size (0 = GOMAXPROCS)")
 	resultsDir := fs.String("results", "results", "artifact directory (empty disables)")
 	reportPath := fs.String("report", "RESULTS.md", "reproduction report path (empty disables)")
+	shardSpec := fs.String("shard", "", "execute one shard i/N (zero-based) and write a partial artifact instead of reports")
+	partialPath := fs.String("partial", "", "partial artifact path for -shard (default results/<scale>/shards/shard-<i>-of-<N>.json)")
 	tables := fs.Bool("tables", false, "print each experiment's table to stdout")
 	quiet := fs.Bool("quiet", false, "suppress per-cell progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	var spec experiments.ScaleSpec
-	switch *scaleName {
-	case "test":
-		spec = experiments.TestSpec()
-	case "paper":
-		spec = experiments.PaperSpec()
-	default:
-		fmt.Fprintf(stderr, "perfiso-repro: unknown scale %q\n", *scaleName)
+	spec, ok := parseScale(*scaleName, stderr)
+	if !ok {
 		return 2
 	}
 
@@ -68,7 +197,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *list {
 		for _, name := range reg.Names() {
 			e, _ := reg.Get(name)
-			fmt.Fprintf(stdout, "%-18s %2d cells  %s\n", name, len(e.Cells(spec)), e.Describe)
+			fmt.Fprintf(stdout, "%-22s %2d cells  %s\n", name, len(e.Cells(spec)), e.Describe)
 		}
 		return 0
 	}
@@ -82,66 +211,174 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	opts := experiments.RunOptions{Spec: spec, Workers: *workers, Filter: filter}
+	var onCell func(exp, cell string, elapsed time.Duration)
 	if !*quiet {
-		opts.OnCell = func(exp, cell string, elapsed time.Duration) {
+		onCell = func(exp, cell string, elapsed time.Duration) {
 			fmt.Fprintf(stderr, "done %s/%s (%.2fs)\n", exp, cell, elapsed.Seconds())
 		}
 	}
-	res, err := reg.Run(opts)
+
+	if *shardSpec != "" {
+		idx, count, err := parseShard(*shardSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+			return 2
+		}
+		// Resolve the output path before running anything — a flag
+		// mistake must not cost a finished shard.
+		path := *partialPath
+		if path == "" {
+			if *resultsDir == "" {
+				fmt.Fprintf(stderr, "perfiso-repro: -shard with -results \"\" needs an explicit -partial path\n")
+				return 2
+			}
+			path = filepath.Join(*resultsDir, spec.Name, "shards",
+				fmt.Sprintf("shard-%d-of-%d.json", idx, count))
+		}
+		p, err := shard.RunShard(reg, shard.RunShardOptions{
+			Spec:    spec,
+			Filter:  *runPat,
+			Shard:   idx,
+			Shards:  count,
+			Workers: *workers,
+			OnCell:  onCell,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+			return 2
+		}
+		if err := shard.WritePartial(path, p); err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: writing partial: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "shard %d/%d: %d cells in %.2fs (manifest %s)\nwrote %s\n",
+			idx, count, len(p.Cells), p.ElapsedSeconds, p.ManifestHash, path)
+		return 0
+	}
+
+	// The manifest hash stamps the artifacts' provenance; building it
+	// also turns a zero-match -run pattern into a loud failure listing
+	// the valid names.
+	m, err := shard.Build(reg, spec, *runPat)
 	if err != nil {
 		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
 		return 2
 	}
 
-	for _, e := range res.Experiments {
-		fmt.Fprintf(stdout, "%-18s %2d cells  %6.2fs cell time\n", e.Name, len(e.CellNames), e.CellSeconds)
-		if *tables {
-			fmt.Fprintln(stdout)
-			fmt.Fprintln(stdout, e.Report.Table)
-		}
+	res, err := reg.Run(experiments.RunOptions{Spec: spec, Workers: *workers, Filter: filter, OnCell: onCell})
+	if err != nil {
+		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+		return 2
 	}
-	speedup := 1.0
-	if res.Elapsed.Seconds() > 0 {
-		speedup = res.SequentialSeconds / res.Elapsed.Seconds()
-	}
-	fmt.Fprintf(stdout, "total: %d cells (%d shared) in %.2fs wall (%.2fs sequential-equivalent, %.1f× speedup, %d workers)\n",
-		res.CellCount, res.SharedCells, res.Elapsed.Seconds(), res.SequentialSeconds, speedup, res.Workers)
+	res.ManifestHash = m.Hash
+	timing := experiments.TimingOf(res)
+	printRun(res, timing, *tables, stdout)
 
-	// A filtered run covers only part of the evaluation; refuse to
-	// overwrite the default full-run outputs (committed RESULTS.md,
-	// results/<scale>/) unless their flags are passed explicitly.
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	return emitOutputs(res, timing, explicit, filter != nil, *resultsDir, *reportPath, stdout, stderr)
+}
 
-	if *resultsDir != "" {
-		if filter != nil && !explicit["results"] {
-			fmt.Fprintf(stderr, "perfiso-repro: -run filter active; not overwriting %s/%s (pass -results to force)\n", *resultsDir, spec.Name)
-		} else {
-			dir := filepath.Join(*resultsDir, spec.Name)
-			if err := experiments.WriteArtifacts(dir, res); err != nil {
-				fmt.Fprintf(stderr, "perfiso-repro: writing artifacts: %v\n", err)
-				return 1
-			}
-			fmt.Fprintf(stdout, "wrote %s and %s\n", filepath.Join(dir, "summary.json"), filepath.Join(dir, "cells.csv"))
+// manifestCmd emits the cell manifest (or a shard plan of it) without
+// executing anything.
+func manifestCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("perfiso-repro manifest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runPat := fs.String("run", "", "regexp selecting experiments (default: all)")
+	scaleName := fs.String("scale", "test", `experiment scale: "test" or "paper"`)
+	planN := fs.Int("plan", 0, "emit the N-shard plan instead of the manifest")
+	out := fs.String("o", "", "output path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	spec, ok := parseScale(*scaleName, stderr)
+	if !ok {
+		return 2
+	}
+	m, err := shard.Build(experiments.DefaultRegistry(), spec, *runPat)
+	if err != nil {
+		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+		return 2
+	}
+	var v any = m
+	if *planN != 0 {
+		if v, err = shard.PlanShards(m, *planN); err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+			return 2
 		}
 	}
-
-	if *reportPath != "" {
-		// The committed RESULTS.md is the full test-scale report, so a
-		// paper-scale run must not overwrite it by default either.
-		switch {
-		case filter != nil && !explicit["report"]:
-			fmt.Fprintf(stderr, "perfiso-repro: -run filter active; not overwriting %s (pass -report to force)\n", *reportPath)
-		case spec.Name != "test" && !explicit["report"]:
-			fmt.Fprintf(stderr, "perfiso-repro: -scale %s; not overwriting the test-scale %s (pass -report to force)\n", spec.Name, *reportPath)
-		default:
-			if err := os.WriteFile(*reportPath, []byte(experiments.RenderMarkdown(res)), 0o644); err != nil {
-				fmt.Fprintf(stderr, "perfiso-repro: writing report: %v\n", err)
-				return 1
-			}
-			fmt.Fprintf(stdout, "wrote %s\n", *reportPath)
-		}
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+		return 1
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		_, err = stdout.Write(blob)
+	} else {
+		err = os.WriteFile(*out, blob, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+		return 1
 	}
 	return 0
+}
+
+// mergeCmd reassembles a run from shard partials and emits the same
+// outputs as a single-process run.
+func mergeCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("perfiso-repro merge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runPat := fs.String("run", "", "regexp the shards were run with (default: all)")
+	scaleName := fs.String("scale", "test", `experiment scale: "test" or "paper"`)
+	shardsDir := fs.String("shards", "", "directory holding the shard partials (*.json); positional args name individual partials")
+	resultsDir := fs.String("results", "results", "artifact directory (empty disables)")
+	reportPath := fs.String("report", "RESULTS.md", "reproduction report path (empty disables)")
+	tables := fs.Bool("tables", false, "print each experiment's table to stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	spec, ok := parseScale(*scaleName, stderr)
+	if !ok {
+		return 2
+	}
+
+	var partials []shard.Partial
+	switch {
+	case *shardsDir != "" && fs.NArg() > 0:
+		fmt.Fprintf(stderr, "perfiso-repro: pass either -shards DIR or positional partial paths, not both\n")
+		return 2
+	case *shardsDir != "":
+		var err error
+		if partials, err = shard.ReadPartialsDir(*shardsDir); err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+			return 2
+		}
+	case fs.NArg() > 0:
+		for _, path := range fs.Args() {
+			p, err := shard.ReadPartial(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+				return 2
+			}
+			partials = append(partials, p)
+		}
+	default:
+		fmt.Fprintf(stderr, "perfiso-repro: merge needs -shards DIR or partial paths\n")
+		return 2
+	}
+
+	res, timing, err := shard.Merge(experiments.DefaultRegistry(), spec, *runPat, partials)
+	if err != nil {
+		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "merged %d shards covering %d cells (%d shared), manifest %s\n",
+		len(partials), res.CellCount+res.SharedCells, res.SharedCells, res.ManifestHash)
+	printRun(res, timing, *tables, stdout)
+
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	return emitOutputs(res, timing, explicit, *runPat != "", *resultsDir, *reportPath, stdout, stderr)
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,8 +30,142 @@ func TestBadFlags(t *testing.T) {
 	if code := run([]string{"-run", "("}, &out, &errb); code != 2 {
 		t.Fatalf("bad regexp: exit %d", code)
 	}
-	if code := run([]string{"-run", "^nothing$", "-report", ""}, &out, &errb); code != 2 {
-		t.Fatalf("empty selection: exit %d", code)
+	if code := run([]string{"unknowncmd"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown subcommand: exit %d", code)
+	}
+	if code := run([]string{"merge", "-report", ""}, &out, &errb); code != 2 {
+		t.Fatalf("merge without shards: exit %d", code)
+	}
+	for _, bad := range []string{"5/3", "1/3x", "0/3/9", "x/3", "1"} {
+		if code := run([]string{"run", "-shard", bad}, &out, &errb); code != 2 {
+			t.Fatalf("-shard %q: exit %d, want 2", bad, code)
+		}
+	}
+	if code := run([]string{"run", "-shard", "0/2", "-results", ""}, &out, &errb); code != 2 {
+		t.Fatalf("-shard without partial or results dir: exit %d", code)
+	}
+}
+
+// TestZeroMatchFilterListsNames: run, manifest and merge all refuse a
+// filter matching nothing and name the valid experiments.
+func TestZeroMatchFilterListsNames(t *testing.T) {
+	for _, args := range [][]string{
+		{"-run", "^nothing$", "-report", ""},
+		{"run", "-run", "^nothing$", "-shard", "0/2"},
+		{"manifest", "-run", "^nothing$"},
+		{"merge", "-run", "^nothing$", "-shards", t.TempDir()},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code == 0 {
+			t.Errorf("%v: exit 0, want non-zero", args)
+		}
+		// The merge case fails earlier on the empty shard dir, which is
+		// just as loud; the others must name the experiments.
+		if args[0] != "merge" && !strings.Contains(errb.String(), "valid names: fig4") {
+			t.Errorf("%v: error does not list names: %s", args, errb.String())
+		}
+	}
+}
+
+// TestManifestAndPlanOutput: the manifest subcommand emits the cell
+// enumeration and, with -plan, a cost-balanced partition, without
+// running anything.
+func TestManifestAndPlanOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"manifest", "-scale", "test"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var m struct {
+		Version int    `json:"version"`
+		Scale   string `json:"scale"`
+		Hash    string `json:"hash"`
+		Cells   []struct {
+			Experiment string  `json:"experiment"`
+			Cell       string  `json:"cell"`
+			Cost       float64 `json:"cost"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &m); err != nil {
+		t.Fatalf("manifest output: %v", err)
+	}
+	if m.Version != 1 || m.Scale != "test" || !strings.HasPrefix(m.Hash, "sha256:") || len(m.Cells) == 0 {
+		t.Fatalf("manifest header: version=%d scale=%q hash=%q cells=%d", m.Version, m.Scale, m.Hash, len(m.Cells))
+	}
+	for _, c := range m.Cells {
+		if c.Cost <= 0 {
+			t.Errorf("cell %s/%s has cost %v", c.Experiment, c.Cell, c.Cost)
+		}
+	}
+
+	out.Reset()
+	if code := run([]string{"manifest", "-scale", "test", "-plan", "3"}, &out, &errb); code != 0 {
+		t.Fatalf("plan: exit %d, stderr: %s", code, errb.String())
+	}
+	var p struct {
+		ManifestHash string `json:"manifest_hash"`
+		Shards       []struct {
+			Units []string `json:"units"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &p); err != nil {
+		t.Fatalf("plan output: %v", err)
+	}
+	if p.ManifestHash != m.Hash || len(p.Shards) != 3 {
+		t.Fatalf("plan: hash=%q shards=%d", p.ManifestHash, len(p.Shards))
+	}
+}
+
+// TestShardMergeRoundTrip drives the CLI end to end on a cheap
+// filtered selection: two shard runs, a merge, and a byte comparison
+// against the single-process artifacts.
+func TestShardMergeRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	tmp := t.TempDir()
+	shards := filepath.Join(tmp, "shards")
+	const filter = "^(fig10|headline)$"
+	for i := 0; i < 2; i++ {
+		var out, errb bytes.Buffer
+		code := run([]string{"run", "-scale", "test", "-run", filter, "-quiet",
+			"-shard", fmt.Sprintf("%d/2", i),
+			"-partial", filepath.Join(shards, fmt.Sprintf("s%d.json", i))}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("shard %d: exit %d, stderr: %s", i, code, errb.String())
+		}
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"merge", "-scale", "test", "-run", filter, "-shards", shards,
+		"-results", filepath.Join(tmp, "merged"), "-report", filepath.Join(tmp, "MERGED.md")}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("merge: exit %d, stderr: %s", code, errb.String())
+	}
+	out.Reset()
+	code = run([]string{"-scale", "test", "-run", filter, "-quiet", "-workers", "3",
+		"-results", filepath.Join(tmp, "single"), "-report", filepath.Join(tmp, "SINGLE.md")}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("single: exit %d, stderr: %s", code, errb.String())
+	}
+	for _, f := range []string{"test/summary.json", "test/cells.csv"} {
+		a, err := os.ReadFile(filepath.Join(tmp, "merged", f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(tmp, "single", f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between merged and single-process run", f)
+		}
+	}
+	a, _ := os.ReadFile(filepath.Join(tmp, "MERGED.md"))
+	b, _ := os.ReadFile(filepath.Join(tmp, "SINGLE.md"))
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Error("reports differ between merged and single-process run")
+	}
+	if !strings.Contains(string(a), "## Provenance") || !strings.Contains(string(a), "sha256:") {
+		t.Error("report missing provenance line")
 	}
 }
 
@@ -57,10 +192,10 @@ func TestSmokeArtifacts(t *testing.T) {
 		t.Fatal(err)
 	}
 	var art struct {
-		Scale       string `json:"scale"`
-		Workers     int    `json:"workers"`
-		CellCount   int    `json:"cell_count"`
-		Experiments []struct {
+		Scale        string `json:"scale"`
+		ManifestHash string `json:"manifest_hash"`
+		CellCount    int    `json:"cell_count"`
+		Experiments  []struct {
 			Name  string `json:"name"`
 			Cells []struct {
 				Cell    string             `json:"cell"`
@@ -72,7 +207,7 @@ func TestSmokeArtifacts(t *testing.T) {
 	if err := json.Unmarshal(blob, &art); err != nil {
 		t.Fatalf("summary.json: %v", err)
 	}
-	if art.Scale != "test" || art.Workers != 2 || art.CellCount != 2 {
+	if art.Scale != "test" || art.CellCount != 2 || !strings.HasPrefix(art.ManifestHash, "sha256:") {
 		t.Fatalf("artifact header: %+v", art)
 	}
 	if len(art.Experiments) != 1 || art.Experiments[0].Name != "headline" {

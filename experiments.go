@@ -153,6 +153,15 @@ func DefaultHarvestScale() HarvestScale { return experiments.DefaultHarvestScale
 // placement policy (round-robin, least-loaded, harvest-aware).
 func RunHarvestFrontier(s HarvestScale) HarvestFrontier { return experiments.RunHarvestFrontier(s) }
 
+// AblationBuffer is the blind-isolation buffer-size sweep beyond the
+// paper's {4, 8}, at peak load under the high bully.
+type AblationBuffer = experiments.AblationBuffer
+
+// RunAblationBuffer executes the buffer ablation (the registered
+// ablation-buffer experiment additionally shares its baseline and
+// paper points with Figs. 4–8 by cell key).
+func RunAblationBuffer(s Scale) AblationBuffer { return experiments.RunAblationBuffer(s) }
+
 // Experiment is one registered unit of the evaluation: a paper figure
 // or an extension, decomposed into independent seeded cells.
 type Experiment = experiments.Experiment

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"perfiso/internal/isolation"
+)
+
+// The ablation-buffer experiment ports BenchmarkAblationBufferCores to
+// the registry: the blind-isolation buffer B swept beyond the paper's
+// {4, 8}, at peak load (4,000 QPS) under the high bully. Registered
+// cells run on the shared pool, shard like everything else, and land
+// in RESULTS.md — the template for porting the remaining ablation
+// benchmarks (poll interval, grow holdoff, quantum, eviction latency).
+
+// ablationBuffers is the swept buffer size; 0 is the no-isolation
+// limit (an absent controller, not a zero-buffer controller).
+var ablationBuffers = []int{0, 2, 4, 8, 12, 16}
+
+// ablationQPS is the peak load of §5.3 — the regime where the buffer
+// actually defends the tail.
+const ablationQPS = 4000
+
+// AblationBuffer is the assembled sweep, keyed by buffer size.
+// Baseline is the standalone run degradation is measured against.
+type AblationBuffer struct {
+	Buffers  []int
+	Cells    map[int]SingleResult
+	Baseline SingleResult
+}
+
+// ablationBufferCells lists the standalone baseline then the sweep.
+// Every cell is keyed, so the baseline and the paper's {4, 8} points
+// are shared with Figs. 4–8 instead of re-simulated.
+func ablationBufferCells(scale Scale) []Cell {
+	cells := []Cell{
+		singleCell(fmt.Sprintf("standalone/qps=%d", ablationQPS), ablationQPS, BullyOff, nil, scale),
+	}
+	for _, buf := range ablationBuffers {
+		var pol isolation.Policy
+		if buf > 0 {
+			pol = &isolation.Blind{BufferCores: buf}
+		}
+		cells = append(cells, singleCell(fmt.Sprintf("buffer=%d/qps=%d", buf, ablationQPS),
+			ablationQPS, BullyHigh, pol, scale))
+	}
+	return cells
+}
+
+// assembleAblationBuffer folds cell results (ablationBufferCells
+// order) into the sweep.
+func assembleAblationBuffer(results []any) AblationBuffer {
+	out := AblationBuffer{
+		Buffers:  ablationBuffers,
+		Cells:    map[int]SingleResult{},
+		Baseline: results[0].(SingleResult),
+	}
+	for i, buf := range out.Buffers {
+		out.Cells[buf] = results[i+1].(SingleResult)
+	}
+	return out
+}
+
+// RunAblationBuffer executes the sweep.
+func RunAblationBuffer(scale Scale) AblationBuffer {
+	return assembleAblationBuffer(RunCells(ablationBufferCells(scale), 0))
+}
+
+// ablationBufferRows flattens the sweep for the artifacts, adding the
+// tail degradation against the standalone baseline each point trades
+// against its harvest.
+func ablationBufferRows(cells []Cell, results []any, baseline SingleResult) []Row {
+	rows := singleRows(cells, results)
+	for i := range rows {
+		r := results[i].(SingleResult)
+		_, _, d99 := r.DegradationMs(baseline)
+		rows[i].Metrics = append(rows[i].Metrics, Metric{"d99ms", d99})
+	}
+	return rows
+}
+
+// Table renders the sweep.
+func (a AblationBuffer) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Blind-isolation buffer ablation — high bully at %d QPS (buffer=0 is no isolation)\n", ablationQPS)
+	fmt.Fprintf(&b, "%-8s %8s %8s %8s %8s %8s\n", "buffer", "p99ms", "d99ms", "drop%", "sec%", "idle%")
+	b.WriteString(strings.Repeat("-", 54) + "\n")
+	fmt.Fprintf(&b, "%-8s %8.2f %8s %8.2f %8.1f %8.1f\n", "alone",
+		a.Baseline.Latency.P99Ms, "—", 100*a.Baseline.DropRate,
+		a.Baseline.Breakdown.SecondaryPct, a.Baseline.Breakdown.IdlePct)
+	for _, buf := range a.Buffers {
+		r := a.Cells[buf]
+		_, _, d99 := r.DegradationMs(a.Baseline)
+		fmt.Fprintf(&b, "%-8d %8.2f %8.2f %8.2f %8.1f %8.1f\n", buf,
+			r.Latency.P99Ms, d99, 100*r.DropRate,
+			r.Breakdown.SecondaryPct, r.Breakdown.IdlePct)
+	}
+	return b.String()
+}

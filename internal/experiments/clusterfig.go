@@ -73,11 +73,14 @@ func runFig9Scenario(scale Fig9Scale, secondary cluster.Secondary, isolate bool)
 }
 
 // fig9Cells lists the three cluster scenarios as independent cells.
+// The cost scales with queries × columns: every query fans out across
+// one row's columns, so simulation work grows with both.
 func fig9Cells(scale Fig9Scale) []Cell {
+	cost := float64(scale.Queries) * float64(scale.Columns)
 	return []Cell{
-		{Name: "standalone", Run: func() any { return runFig9Scenario(scale, cluster.NoSecondary, false) }},
-		{Name: "cpu-bound", Run: func() any { return runFig9Scenario(scale, cluster.CPUSecondary, true) }},
-		{Name: "disk-bound", Run: func() any { return runFig9Scenario(scale, cluster.DiskSecondary, true) }},
+		{Name: "standalone", Cost: cost, Run: func() any { return runFig9Scenario(scale, cluster.NoSecondary, false) }},
+		{Name: "cpu-bound", Cost: cost, Run: func() any { return runFig9Scenario(scale, cluster.CPUSecondary, true) }},
+		{Name: "disk-bound", Cost: cost, Run: func() any { return runFig9Scenario(scale, cluster.DiskSecondary, true) }},
 	}
 }
 
@@ -96,9 +99,11 @@ func RunFig9(scale Fig9Scale) Fig9 {
 	return assembleFig9(RunCells(fig9Cells(scale), 0))
 }
 
-// fig10Cells wraps the fluid model as a single cell.
+// fig10Cells wraps the fluid model as a single cell. The fluid model
+// is cheap at full size — a fixed nominal cost keeps it scheduled
+// late and packed into any shard.
 func fig10Cells() []Cell {
-	return []Cell{{Name: "production-hour", Run: func() any { return RunFig10() }}}
+	return []Cell{{Name: "production-hour", Cost: 2000, Run: func() any { return RunFig10() }}}
 }
 
 // RunFig10 executes the 650-machine production fluid model (Fig. 10).

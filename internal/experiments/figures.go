@@ -10,15 +10,31 @@ import (
 // QPS) and approximate peak (4,000 QPS).
 var Loads = []float64{2000, 4000}
 
-// singleCell builds one independent single-machine cell. Standalone
-// cells (no bully, no policy) carry a shared key: their result depends
-// only on (qps, scale), and Figs. 4–8 plus the headline all need the
-// same baselines, so a registry run executes each once.
+// singleCell builds one independent single-machine cell. Cells whose
+// policy identity is fully captured by its parameters carry a shared
+// key: their result depends only on (qps, bully, policy, scale), and
+// the same simulation recurs across figures — the standalone baselines
+// of Figs. 4–8 and the headline, Fig. 8's bars versus the Figs. 4–7
+// sweeps, the ablation sweep versus Fig. 5 — so a registry run (or a
+// shard plan) executes each exactly once.
 func singleCell(name string, qps float64, bully BullyMode, pol isolation.Policy, scale Scale) Cell {
-	c := Cell{Name: name, Run: func() any { return RunSingle(qps, bully, pol, scale) }}
-	if bully == BullyOff && pol == nil {
-		c.Key = fmt.Sprintf("standalone/qps=%g/queries=%d/warmup=%d/seed=%d",
-			qps, scale.Queries, scale.Warmup, scale.Seed)
+	c := Cell{
+		Name: name,
+		Cost: float64(scale.Queries),
+		Run:  func() any { return RunSingle(qps, bully, pol, scale) },
+	}
+	suffix := fmt.Sprintf("bully=%s/qps=%g/queries=%d/warmup=%d/seed=%d",
+		bully, qps, scale.Queries, scale.Warmup, scale.Seed)
+	switch p := pol.(type) {
+	case nil:
+		c.Key = "single/none/" + suffix
+	case *isolation.Blind:
+		c.Key = fmt.Sprintf("single/blind=%d/poll=%d/hold=%d/%s",
+			p.BufferCores, p.PollInterval, p.GrowHoldoff, suffix)
+	case isolation.StaticCores:
+		c.Key = fmt.Sprintf("single/cores=%d/%s", p.Cores, suffix)
+	case isolation.CycleCap:
+		c.Key = fmt.Sprintf("single/cycles=%g/window=%d/%s", p.Fraction, p.Window, suffix)
 	}
 	return c
 }

@@ -210,6 +210,14 @@ func syntheticHarvestKey(policy string) string {
 	return "harvest-synthetic/policy=" + policy
 }
 
+// harvestScenarioCost estimates one frontier cell: the primary trace
+// fans out over the columns like Fig. 9, plus the batch backlog's CPU
+// demand (in query-equivalents, one task-second ≈ one-ms query × 1000).
+func harvestScenarioCost(scale HarvestScale) float64 {
+	return float64(scale.Queries)*float64(scale.Columns) +
+		1000*float64(scale.Jobs*scale.TasksPerJob)*scale.TaskWork.Seconds()
+}
+
 // harvestCells lists one cell per placement policy.
 func harvestCells(scale HarvestScale) []Cell {
 	var cells []Cell
@@ -217,6 +225,7 @@ func harvestCells(scale HarvestScale) []Cell {
 		cells = append(cells, Cell{
 			Name: "policy=" + policy,
 			Key:  syntheticHarvestKey(policy),
+			Cost: harvestScenarioCost(scale),
 			Run:  func() any { return runHarvestScenario(scale, policy) },
 		})
 	}

@@ -93,10 +93,12 @@ func harvestTraceCells(s ScaleSpec) []Cell {
 			Cell{
 				Name: "policy=" + policy + "/src=" + sourceSynthetic,
 				Key:  syntheticHarvestKey(policy),
+				Cost: harvestScenarioCost(s.Harvest),
 				Run:  func() any { return runHarvestScenario(s.Harvest, policy) },
 			},
 			Cell{
 				Name: "policy=" + policy + "/src=" + sourceTrace,
+				Cost: harvestScenarioCost(s.Harvest),
 				Run:  func() any { return runHarvestTraceScenario(s.Harvest, s.BatchTrace, policy) },
 			})
 	}

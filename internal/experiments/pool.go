@@ -2,10 +2,27 @@ package experiments
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// CostOrder returns cell indices sorted expensive-first (stable, so
+// equal costs keep enumeration order): the launch order shared by the
+// in-process pool and the shard runner. With a balanced pool the wall
+// clock is bounded by the last cell to start, so the big simulations
+// go first.
+func CostOrder(cells []Cell) []int {
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return cells[order[a]].CostOrDefault() > cells[order[b]].CostOrDefault()
+	})
+	return order
+}
 
 // poolSize clamps a requested worker count to something sensible:
 // <= 0 means GOMAXPROCS, and there is no point in more workers than
@@ -22,6 +39,11 @@ func poolSize(workers, cells int) int {
 	}
 	return workers
 }
+
+// PoolSize reports the worker count a run with the given request and
+// cell count actually uses — the resolved parallelism recorded in
+// timing artifacts.
+func PoolSize(workers, cells int) int { return poolSize(workers, cells) }
 
 // RunCells executes cells on a pool of workers goroutines and returns
 // their results in cell order. Every cell owns its engine and seed, so

@@ -60,9 +60,10 @@ func DefaultRegistry() *Registry {
 	r := NewRegistry()
 
 	r.MustRegister(Experiment{
-		Name:     "fig4",
-		Describe: "Figs. 4a/4b — standalone vs unrestricted mid/high secondary at both loads",
-		Cells:    func(s ScaleSpec) []Cell { return fig4Cells(s.Single) },
+		Name:         "fig4",
+		DecodeResult: DecodeJSONResult[SingleResult],
+		Describe:     "Figs. 4a/4b — standalone vs unrestricted mid/high secondary at both loads",
+		Cells:        func(s ScaleSpec) []Cell { return fig4Cells(s.Single) },
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			f := assembleFig4(results)
 			return f, Report{Table: f.Table(), Rows: singleRows(cells, results)}
@@ -70,9 +71,10 @@ func DefaultRegistry() *Registry {
 	})
 
 	r.MustRegister(Experiment{
-		Name:     "fig5",
-		Describe: "Figs. 5a/5b — blind isolation with 4 and 8 buffer cores under the high secondary",
-		Cells:    func(s ScaleSpec) []Cell { return fig5Cells(s.Single) },
+		Name:         "fig5",
+		DecodeResult: DecodeJSONResult[SingleResult],
+		Describe:     "Figs. 5a/5b — blind isolation with 4 and 8 buffer cores under the high secondary",
+		Cells:        func(s ScaleSpec) []Cell { return fig5Cells(s.Single) },
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			f := assembleFig5(results)
 			return f, Report{Table: f.Table(), Rows: singleRows(cells, results)}
@@ -80,9 +82,10 @@ func DefaultRegistry() *Registry {
 	})
 
 	r.MustRegister(Experiment{
-		Name:     "fig6",
-		Describe: "Figs. 6a/6b — secondary statically restricted to 24/16/8 cores",
-		Cells:    func(s ScaleSpec) []Cell { return fig6Cells(s.Single) },
+		Name:         "fig6",
+		DecodeResult: DecodeJSONResult[SingleResult],
+		Describe:     "Figs. 6a/6b — secondary statically restricted to 24/16/8 cores",
+		Cells:        func(s ScaleSpec) []Cell { return fig6Cells(s.Single) },
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			f := assembleFig6(results)
 			return f, Report{Table: f.Table(), Rows: singleRows(cells, results)}
@@ -90,9 +93,10 @@ func DefaultRegistry() *Registry {
 	})
 
 	r.MustRegister(Experiment{
-		Name:     "fig7",
-		Describe: "Figs. 7a–7c — secondary capped at 45%/25%/5% of CPU cycles",
-		Cells:    func(s ScaleSpec) []Cell { return fig7Cells(s.Single) },
+		Name:         "fig7",
+		DecodeResult: DecodeJSONResult[SingleResult],
+		Describe:     "Figs. 7a–7c — secondary capped at 45%/25%/5% of CPU cycles",
+		Cells:        func(s ScaleSpec) []Cell { return fig7Cells(s.Single) },
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			f := assembleFig7(results)
 			return f, Report{Table: f.Table(), Rows: singleRows(cells, results)}
@@ -100,9 +104,10 @@ func DefaultRegistry() *Registry {
 	})
 
 	r.MustRegister(Experiment{
-		Name:     "fig8",
-		Describe: "Figs. 8a–8c — five-way isolation comparison at the paper's 2,000 QPS",
-		Cells:    func(s ScaleSpec) []Cell { return fig8Cells(s.Fig8QPS, s.Single) },
+		Name:         "fig8",
+		DecodeResult: DecodeJSONResult[SingleResult],
+		Describe:     "Figs. 8a–8c — five-way isolation comparison at the paper's 2,000 QPS",
+		Cells:        func(s ScaleSpec) []Cell { return fig8Cells(s.Fig8QPS, s.Single) },
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			f := assembleFig8(results)
 			return f, Report{Table: f.Table(), Rows: singleRows(cells, results)}
@@ -110,9 +115,10 @@ func DefaultRegistry() *Registry {
 	})
 
 	r.MustRegister(Experiment{
-		Name:     "headline",
-		Describe: "§1 headline — average CPU utilization standalone vs colocated (21% → 66%)",
-		Cells:    func(s ScaleSpec) []Cell { return headlineCells(s.Single) },
+		Name:         "headline",
+		DecodeResult: DecodeJSONResult[SingleResult],
+		Describe:     "§1 headline — average CPU utilization standalone vs colocated (21% → 66%)",
+		Cells:        func(s ScaleSpec) []Cell { return headlineCells(s.Single) },
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			h := assembleHeadline(results)
 			rows := []Row{{Cell: "headline", Metrics: []Metric{
@@ -125,9 +131,10 @@ func DefaultRegistry() *Registry {
 	})
 
 	r.MustRegister(Experiment{
-		Name:     "fig9",
-		Describe: "Figs. 9a–9c — per-layer cluster latency: standalone vs CPU-/disk-bound secondaries",
-		Cells:    func(s ScaleSpec) []Cell { return fig9Cells(s.Cluster) },
+		Name:         "fig9",
+		DecodeResult: DecodeJSONResult[cluster.Result],
+		Describe:     "Figs. 9a–9c — per-layer cluster latency: standalone vs CPU-/disk-bound secondaries",
+		Cells:        func(s ScaleSpec) []Cell { return fig9Cells(s.Cluster) },
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			f := assembleFig9(results)
 			rows := []Row{
@@ -140,9 +147,10 @@ func DefaultRegistry() *Registry {
 	})
 
 	r.MustRegister(Experiment{
-		Name:     "fig10",
-		Describe: "Fig. 10 — 650-machine production hour via the calibrated fluid model",
-		Cells:    func(s ScaleSpec) []Cell { return fig10Cells() },
+		Name:         "fig10",
+		DecodeResult: DecodeJSONResult[cluster.ProductionResult],
+		Describe:     "Fig. 10 — 650-machine production hour via the calibrated fluid model",
+		Cells:        func(s ScaleSpec) []Cell { return fig10Cells() },
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			p := results[0].(cluster.ProductionResult)
 			rows := []Row{{Cell: "production-hour", Metrics: []Metric{
@@ -156,11 +164,13 @@ func DefaultRegistry() *Registry {
 	})
 
 	r.MustRegister(Experiment{
-		Name:     "fullstack",
-		Describe: "extension — every governor engaged against all secondaries at once",
+		Name:         "fullstack",
+		DecodeResult: DecodeJSONResult[FullStackResult],
+		Describe:     "extension — every governor engaged against all secondaries at once",
 		Cells: func(s ScaleSpec) []Cell {
 			return []Cell{{
 				Name: fmt.Sprintf("qps=%.0f", s.FullStackQPS),
+				Cost: float64(s.Single.Queries),
 				Run:  func() any { return RunFullStack(s.FullStackQPS, s.Single) },
 			}}
 		},
@@ -183,11 +193,15 @@ func DefaultRegistry() *Registry {
 	})
 
 	r.MustRegister(Experiment{
-		Name:     "timeline",
-		Describe: "extension — single-machine DES under the diurnal curve (Fig. 10 cross-check)",
+		Name:         "timeline",
+		DecodeResult: DecodeJSONResult[TimelineResult],
+		Describe:     "extension — single-machine DES under the diurnal curve (Fig. 10 cross-check)",
 		Cells: func(s ScaleSpec) []Cell {
+			// The timeline replays its diurnal curve for the whole span,
+			// so cost ≈ queries served ≈ mean rate × duration.
 			return []Cell{{
 				Name: "diurnal",
+				Cost: 0.725 * s.Timeline.PeakQPS * s.Timeline.Duration.Seconds(),
 				Run:  func() any { return RunTimeline(s.Timeline) },
 			}}
 		},
@@ -218,9 +232,10 @@ func DefaultRegistry() *Registry {
 	}
 
 	r.MustRegister(Experiment{
-		Name:     "harvest-frontier",
-		Describe: "extension — batch-harvest throughput vs primary P99 per placement policy",
-		Cells:    func(s ScaleSpec) []Cell { return harvestCells(s.Harvest) },
+		Name:         "harvest-frontier",
+		DecodeResult: DecodeJSONResult[HarvestPoint],
+		Describe:     "extension — batch-harvest throughput vs primary P99 per placement policy",
+		Cells:        func(s ScaleSpec) []Cell { return harvestCells(s.Harvest) },
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			f := assembleHarvestFrontier(s.Harvest, results)
 			rows := make([]Row, len(f.Points))
@@ -232,9 +247,10 @@ func DefaultRegistry() *Registry {
 	})
 
 	r.MustRegister(Experiment{
-		Name:     "harvest-trace-frontier",
-		Describe: "extension — harvest frontier under a replayed PIBT batch trace vs the synthetic backlog",
-		Cells:    harvestTraceCells,
+		Name:         "harvest-trace-frontier",
+		DecodeResult: DecodeJSONResult[HarvestPoint],
+		Describe:     "extension — harvest frontier under a replayed PIBT batch trace vs the synthetic backlog",
+		Cells:        harvestTraceCells,
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			f := assembleHarvestTraceFrontier(s, cells, results)
 			rows := make([]Row, len(f.Points))
@@ -245,6 +261,17 @@ func DefaultRegistry() *Registry {
 				}
 			}
 			return f, Report{Table: f.Table(), Rows: rows}
+		},
+	})
+
+	r.MustRegister(Experiment{
+		Name:         "ablation-buffer",
+		DecodeResult: DecodeJSONResult[SingleResult],
+		Describe:     "ablation — blind-isolation buffer size swept beyond the paper's {4,8} at peak load",
+		Cells:        func(s ScaleSpec) []Cell { return ablationBufferCells(s.Single) },
+		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
+			a := assembleAblationBuffer(results)
+			return a, Report{Table: a.Table(), Rows: ablationBufferRows(cells, results, a.Baseline)}
 		},
 	})
 

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"regexp"
+	"strings"
 	"sync"
 	"time"
 
@@ -82,8 +84,21 @@ type Cell struct {
 	// Figs. 4–8 and the headline all need are run once instead of five
 	// times.
 	Key string
+	// Cost estimates the cell's execution cost in arbitrary but
+	// mutually comparable units (roughly simulated query-equivalents).
+	// The pool schedules expensive cells first and the shard planner
+	// balances shards by it; zero means "unknown", treated as 1.
+	Cost float64
 	// Run executes the cell and returns its result.
 	Run func() any
+}
+
+// CostOrDefault is the planning cost: Cost, or 1 when unset.
+func (c Cell) CostOrDefault() float64 {
+	if c.Cost > 0 {
+		return c.Cost
+	}
+	return 1
 }
 
 // Metric is one named value of a result row.
@@ -123,6 +138,23 @@ type Experiment struct {
 	// results is index-aligned with it, so row builders pair names with
 	// results without reconstructing the cell list.
 	Assemble func(s ScaleSpec, cells []Cell, results []any) (any, Report)
+	// DecodeResult rebuilds one cell result from its JSON encoding —
+	// the hook the shard merger uses to reassemble a run from partial
+	// artifacts produced by other processes. Experiments without it
+	// cannot be sharded across processes.
+	DecodeResult func(data []byte) (any, error)
+}
+
+// DecodeJSONResult is the DecodeResult implementation for experiments
+// whose cells all return a T: every numeric field round-trips exactly
+// through encoding/json (shortest-representation floats, integral
+// int64s), so a decoded result is bit-identical to the in-process one.
+func DecodeJSONResult[T any](data []byte) (any, error) {
+	var v T
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
 }
 
 // Registry is an ordered, name-keyed set of experiments.
@@ -178,6 +210,14 @@ func (r *Registry) Get(name string) (Experiment, bool) {
 	return r.order[i], true
 }
 
+// NoMatchError is the zero-selection failure shared by run, manifest
+// and merge: it names every registered experiment so a typo'd -run
+// pattern fails loudly instead of silently writing empty artifacts.
+func (r *Registry) NoMatchError(pattern string) error {
+	return fmt.Errorf("experiments: filter %q matches no experiments; valid names: %s",
+		pattern, strings.Join(r.Names(), ", "))
+}
+
 // Select returns the experiments whose names match filter, in
 // registration order. A nil filter selects everything.
 func (r *Registry) Select(filter *regexp.Regexp) []Experiment {
@@ -226,6 +266,12 @@ type RunResult struct {
 	Spec        ScaleSpec
 	Workers     int
 	Experiments []ExperimentResult
+	// ManifestHash, when set, identifies the cell manifest this run
+	// covers (see internal/shard). It is a pure function of the
+	// registry contents, scale and filter, so a single-process run and
+	// a merged sharded run of the same selection carry the same hash —
+	// the provenance line RenderMarkdown emits stays byte-identical.
+	ManifestHash string
 	// CellCount is the number of simulations actually executed.
 	CellCount int
 	// SharedCells counts the logical cells that reused another cell's
@@ -257,7 +303,11 @@ func (r RunResult) Value(name string) any {
 func (r *Registry) Run(opts RunOptions) (RunResult, error) {
 	selected := r.Select(opts.Filter)
 	if len(selected) == 0 {
-		return RunResult{}, fmt.Errorf("experiments: no experiments match filter")
+		pattern := ""
+		if opts.Filter != nil {
+			pattern = opts.Filter.String()
+		}
+		return RunResult{}, r.NoMatchError(pattern)
 	}
 
 	// Flatten every experiment's cells, deduplicating by Key: the
@@ -290,6 +340,17 @@ func (r *Registry) Run(opts RunOptions) (RunResult, error) {
 			slots = append(slots, []slot{{ei, ci}})
 		}
 	}
+
+	// Schedule expensive cells first; results are written through slots
+	// by identity, so the order changes only the wall clock.
+	order := CostOrder(flat)
+	sortedFlat := make([]Cell, len(flat))
+	sortedSlots := make([][]slot, len(flat))
+	for i, fi := range order {
+		sortedFlat[i] = flat[fi]
+		sortedSlots[i] = slots[fi]
+	}
+	flat, slots = sortedFlat, sortedSlots
 
 	cellSec := make([]float64, len(selected))
 	var mu sync.Mutex

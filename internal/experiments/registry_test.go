@@ -51,7 +51,7 @@ func TestRegistrySelectFilter(t *testing.T) {
 	r := DefaultRegistry()
 	want := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "headline",
 		"fig9", "fig10", "fullstack", "timeline", "harvest-frontier",
-		"harvest-trace-frontier"}
+		"harvest-trace-frontier", "ablation-buffer"}
 	if got := r.Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("registry order = %v, want %v", got, want)
 	}
@@ -89,11 +89,19 @@ func TestRunCellsEmptyAndPanic(t *testing.T) {
 }
 
 func TestRunNoMatch(t *testing.T) {
-	if _, err := DefaultRegistry().Run(RunOptions{
+	_, err := DefaultRegistry().Run(RunOptions{
 		Spec:   TestSpec(),
 		Filter: regexp.MustCompile(`^nothing-matches$`),
-	}); err == nil {
+	})
+	if err == nil {
 		t.Fatal("no-match run did not error")
+	}
+	// The error must name the valid experiments so a typo'd filter is
+	// diagnosable without a separate -list invocation.
+	for _, want := range []string{"nothing-matches", "fig4", "harvest-frontier", "ablation-buffer"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("no-match error missing %q: %v", want, err)
+		}
 	}
 }
 

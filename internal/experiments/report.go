@@ -25,29 +25,30 @@ type jsonRow struct {
 }
 
 type jsonArtifact struct {
-	Scale             string           `json:"scale"`
-	Workers           int              `json:"workers"`
-	CellCount         int              `json:"cell_count"`
-	ElapsedSeconds    float64          `json:"elapsed_seconds"`
-	SequentialSeconds float64          `json:"sequential_seconds"`
-	Experiments       []jsonExperiment `json:"experiments"`
+	Scale        string           `json:"scale"`
+	ManifestHash string           `json:"manifest_hash,omitempty"`
+	CellCount    int              `json:"cell_count"`
+	SharedCells  int              `json:"shared_cells"`
+	Experiments  []jsonExperiment `json:"experiments"`
 }
 
-// WriteArtifacts writes the run's machine-readable artifacts under dir:
-// summary.json (everything, including the rendered tables) and
-// cells.csv (long-format experiment,cell,metric,value rows). Timing
-// fields live only here — the markdown report stays byte-deterministic.
+// WriteArtifacts writes the run's deterministic machine-readable
+// artifacts under dir: summary.json (every cell metric plus the
+// rendered tables) and cells.csv (long-format
+// experiment,cell,metric,value rows). Both are pure functions of the
+// simulation results, so a merged sharded run reproduces them
+// byte-for-byte; wall-clock and worker-count fields live in
+// timing.json (WriteTiming), which carries no such guarantee.
 func WriteArtifacts(dir string, res RunResult) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 
 	art := jsonArtifact{
-		Scale:             res.Spec.Name,
-		Workers:           res.Workers,
-		CellCount:         res.CellCount,
-		ElapsedSeconds:    res.Elapsed.Seconds(),
-		SequentialSeconds: res.SequentialSeconds,
+		Scale:        res.Spec.Name,
+		ManifestHash: res.ManifestHash,
+		CellCount:    res.CellCount,
+		SharedCells:  res.SharedCells,
 	}
 	var csv strings.Builder
 	csv.WriteString("experiment,cell,metric,value\n")
@@ -73,6 +74,51 @@ func WriteArtifacts(dir string, res RunResult) error {
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, "cells.csv"), []byte(csv.String()), 0o644)
+}
+
+// ShardTiming records one shard's execution in a merged run.
+type ShardTiming struct {
+	Shard          int     `json:"shard"`
+	Shards         int     `json:"shards"`
+	Workers        int     `json:"workers"`
+	Cells          int     `json:"cells"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// RunTiming is the non-deterministic side of a run — wall clocks,
+// worker counts and, for merged runs, the shard layout. It is written
+// as timing.json next to the deterministic artifacts and deliberately
+// excluded from the byte-identical guarantee.
+type RunTiming struct {
+	// Source is "single" for an in-process run or "merged" for a run
+	// reassembled from shard partials.
+	Source            string        `json:"source"`
+	Workers           int           `json:"workers,omitempty"`
+	ElapsedSeconds    float64       `json:"elapsed_seconds"`
+	SequentialSeconds float64       `json:"sequential_seconds"`
+	Shards            []ShardTiming `json:"shards,omitempty"`
+}
+
+// TimingOf projects a single-process run's timing.
+func TimingOf(res RunResult) RunTiming {
+	return RunTiming{
+		Source:            "single",
+		Workers:           res.Workers,
+		ElapsedSeconds:    res.Elapsed.Seconds(),
+		SequentialSeconds: res.SequentialSeconds,
+	}
+}
+
+// WriteTiming writes timing.json under dir.
+func WriteTiming(dir string, t RunTiming) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "timing.json"), append(blob, '\n'), 0o644)
 }
 
 // comparison is one paper-vs-reproduced row of the report.
@@ -282,6 +328,17 @@ func extensionSummaries(res RunResult) []comparison {
 			})
 		}
 	}
+	if v, ok := res.Value("ablation-buffer").(AblationBuffer); ok && len(v.Cells) > 0 {
+		_, _, d4 := v.Cells[4].DegradationMs(v.Baseline)
+		_, _, d8 := v.Cells[8].DegradationMs(v.Baseline)
+		_, _, d16 := v.Cells[16].DegradationMs(v.Baseline)
+		out = append(out, comparison{
+			Figure:     "ablation-buffer",
+			Paper:      "buffer sweep beyond the paper's {4,8}: how much buffer the tail needs vs harvest it costs",
+			Reproduced: fmt.Sprintf("∆P99 at %d QPS: B=4 %+.2f ms, B=8 %+.2f ms, B=16 %+.2f ms (sec%% %.1f/%.1f/%.1f)", ablationQPS, d4, d8, d16, v.Cells[4].Breakdown.SecondaryPct, v.Cells[8].Breakdown.SecondaryPct, v.Cells[16].Breakdown.SecondaryPct),
+			Match:      true,
+		})
+	}
 	if v, ok := res.Value("harvest-trace-frontier").(HarvestTraceFrontier); ok && len(v.Points) > 0 {
 		const what = "placement frontier holds under a replayed bursty, heavy-tailed batch trace"
 		synth, okS := v.Point("harvest-aware", "synthetic")
@@ -320,10 +377,28 @@ the published *shape* using the same bands as the calibration tests.
 Useful flags: ` + "`-run 'fig[45]|headline'`" + ` filters experiments,
 ` + "`-workers N`" + ` sizes the cell pool (results are identical at any worker
 count), ` + "`-scale paper`" + ` runs the full published trace sizes, and
-` + "`-list`" + ` shows every registered experiment. CI regenerates this report
-at test scale and fails if it drifts from the committed copy.
+` + "`-list`" + ` shows every registered experiment. The same run can be split
+across machines: ` + "`perfiso-repro manifest`" + ` enumerates the cells,
+` + "`perfiso-repro run -shard i/N`" + ` executes one cost-balanced shard, and
+` + "`perfiso-repro merge -shards DIR`" + ` reassembles artifacts byte-identical
+to a single-process run. CI regenerates this report at test scale —
+both single-process and via a 3-way shard merge — and fails if either
+drifts from the committed copy.
 
 `)
+
+	if res.ManifestHash != "" {
+		b.WriteString("## Provenance\n\n")
+		fmt.Fprintf(&b, "Cell manifest `%s` · scale `%s` · %d experiments · %d cells (%d executed, %d shared by key).\n",
+			res.ManifestHash, res.Spec.Name, len(res.Experiments),
+			res.CellCount+res.SharedCells, res.CellCount, res.SharedCells)
+		b.WriteString(`The manifest hash is a pure function of the registered experiments,
+scale and filter, so it is identical whether this report came from one
+process or from merged shards; ` + "`perfiso-repro manifest`" + ` prints the
+manifest it covers.
+
+`)
+	}
 
 	if cmps := comparisons(res); len(cmps) > 0 {
 		b.WriteString("## Paper vs reproduced\n\n")

@@ -1,0 +1,214 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"perfiso/internal/experiments"
+)
+
+// PartialVersion versions the partial artifact encoding.
+const PartialVersion = 1
+
+// PartialCell is one executed unit's serialized result.
+type PartialCell struct {
+	// Unit is the manifest unit ID this result covers.
+	Unit string `json:"unit"`
+	// Experiment and Cell name the cell that was actually executed
+	// (the unit's first occurrence).
+	Experiment string `json:"experiment"`
+	Cell       string `json:"cell"`
+	// Result is the cell result's JSON encoding; the owning
+	// experiment's DecodeResult rebuilds the typed value exactly.
+	Result json.RawMessage `json:"result"`
+	// Seconds is the cell's wall clock on the shard worker.
+	Seconds float64 `json:"seconds"`
+}
+
+// Partial is one shard's output: everything Merge needs to verify
+// coverage and reassemble the run.
+type Partial struct {
+	Version        int           `json:"version"`
+	ManifestHash   string        `json:"manifest_hash"`
+	Scale          string        `json:"scale"`
+	Filter         string        `json:"filter,omitempty"`
+	Shard          int           `json:"shard"`
+	Shards         int           `json:"shards"`
+	Workers        int           `json:"workers"`
+	ElapsedSeconds float64       `json:"elapsed_seconds"`
+	Cells          []PartialCell `json:"cells"`
+}
+
+// RunShardOptions parameterizes one shard execution.
+type RunShardOptions struct {
+	// Spec sizes every experiment; Filter restricts the manifest
+	// (empty selects everything).
+	Spec   experiments.ScaleSpec
+	Filter string
+	// Shard is the zero-based index in [0, Shards).
+	Shard, Shards int
+	// Workers sizes the cell pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// OnCell, when set, is called after each cell completes. Calls are
+	// serialized.
+	OnCell func(experiment, cell string, elapsed time.Duration)
+}
+
+// RunShard builds the manifest, plans it, and executes this shard's
+// units on a worker pool. The returned partial embeds the manifest
+// hash so Merge can verify every shard planned the same run.
+func RunShard(reg *experiments.Registry, opts RunShardOptions) (Partial, error) {
+	if opts.Shard < 0 || opts.Shard >= opts.Shards {
+		return Partial{}, fmt.Errorf("shard: index %d out of range for %d shards (zero-based)", opts.Shard, opts.Shards)
+	}
+	m, err := Build(reg, opts.Spec, opts.Filter)
+	if err != nil {
+		return Partial{}, err
+	}
+	plan, err := PlanShards(m, opts.Shards)
+	if err != nil {
+		return Partial{}, err
+	}
+	units, _ := m.Units() // validated by Build
+	byID := map[string]Unit{}
+	for _, u := range units {
+		byID[u.ID] = u
+	}
+
+	// Map each assigned unit back to its executable cell. Build just
+	// re-enumerated the registry, so manifest indices align with a
+	// fresh enumeration.
+	live := liveCells(reg, opts.Spec, opts.Filter)
+	mine := plan.Shards[opts.Shard].Units
+	cells := make([]experiments.Cell, len(mine))
+	for i, id := range mine {
+		u, ok := byID[id]
+		if !ok {
+			return Partial{}, fmt.Errorf("shard: plan references unknown unit %s", id)
+		}
+		cells[i] = live[u.Cells[0]]
+	}
+
+	// Run the shard's cells, expensive first, recording per-cell wall
+	// clock. Each index is written once, so the slices need no lock.
+	order := experiments.CostOrder(cells)
+	secs := make([]float64, len(cells))
+	run := make([]experiments.Cell, len(order))
+	var mu sync.Mutex
+	for i, ci := range order {
+		ci := ci
+		orig := cells[ci].Run
+		name := cells[ci].Name
+		exp := m.Cells[byID[mine[ci]].Cells[0]].Experiment
+		run[i] = experiments.Cell{Name: name, Run: func() any {
+			start := time.Now()
+			v := orig()
+			d := time.Since(start)
+			secs[ci] = d.Seconds()
+			if opts.OnCell != nil {
+				mu.Lock()
+				opts.OnCell(exp, name, d)
+				mu.Unlock()
+			}
+			return v
+		}}
+	}
+	start := time.Now()
+	resultsByOrder := experiments.RunCells(run, opts.Workers)
+	elapsed := time.Since(start)
+	results := make([]any, len(cells))
+	for i, ci := range order {
+		results[ci] = resultsByOrder[i]
+	}
+
+	p := Partial{
+		Version:        PartialVersion,
+		ManifestHash:   m.Hash,
+		Scale:          opts.Spec.Name,
+		Filter:         opts.Filter,
+		Shard:          opts.Shard,
+		Shards:         opts.Shards,
+		Workers:        experiments.PoolSize(opts.Workers, len(cells)),
+		ElapsedSeconds: elapsed.Seconds(),
+	}
+	for i, id := range mine {
+		mc := m.Cells[byID[id].Cells[0]]
+		blob, err := json.Marshal(results[i])
+		if err != nil {
+			return Partial{}, fmt.Errorf("shard: encoding %s/%s: %w", mc.Experiment, mc.Cell, err)
+		}
+		p.Cells = append(p.Cells, PartialCell{
+			Unit:       id,
+			Experiment: mc.Experiment,
+			Cell:       mc.Cell,
+			Result:     blob,
+			Seconds:    secs[i],
+		})
+	}
+	return p, nil
+}
+
+// liveCells flattens the registry's cell enumeration in manifest
+// order. The caller must have validated the selection via Build.
+func liveCells(reg *experiments.Registry, spec experiments.ScaleSpec, pattern string) []experiments.Cell {
+	sel, err := selectExperiments(reg, pattern)
+	if err != nil {
+		panic(err) // Build already validated the same selection
+	}
+	var flat []experiments.Cell
+	for _, e := range sel {
+		flat = append(flat, e.Cells(spec)...)
+	}
+	return flat
+}
+
+// WritePartial writes a partial as indented JSON, creating parent
+// directories.
+func WritePartial(path string, p Partial) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// ReadPartial loads one partial artifact.
+func ReadPartial(path string) (Partial, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return Partial{}, err
+	}
+	var p Partial
+	if err := json.Unmarshal(blob, &p); err != nil {
+		return Partial{}, fmt.Errorf("shard: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// ReadPartialsDir loads every *.json partial under dir, sorted by
+// file name for deterministic error attribution.
+func ReadPartialsDir(dir string) ([]Partial, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("shard: no partial artifacts (*.json) under %s", dir)
+	}
+	sort.Strings(paths)
+	out := make([]Partial, len(paths))
+	for i, path := range paths {
+		if out[i], err = ReadPartial(path); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
