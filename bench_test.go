@@ -30,9 +30,11 @@ import (
 	"perfiso"
 	"perfiso/internal/cluster"
 	"perfiso/internal/cpumodel"
+	"perfiso/internal/dispatch"
 	"perfiso/internal/experiments"
 	"perfiso/internal/isolation"
 	"perfiso/internal/node"
+	"perfiso/internal/shard"
 	"perfiso/internal/sim"
 	"perfiso/internal/workload"
 )
@@ -214,6 +216,43 @@ func BenchmarkReproAll(b *testing.B) {
 			b.ReportMetric(float64(runtime.NumCPU()), "cores")
 		})
 	}
+}
+
+// BenchmarkDispatchOverhead prices the work-stealing dispatcher
+// against the static plan at equal worker counts: static is one shard
+// (the whole manifest) on an in-process pool, dispatch is the same
+// units claimed by N workers over loopback HTTP with leases and
+// heartbeats. The ns/op gap is the protocol's overhead — it should be
+// noise next to simulation time.
+func BenchmarkDispatchOverhead(b *testing.B) {
+	const workers = 4
+	b.Run(fmt.Sprintf("static/workers=%d", workers), func(b *testing.B) {
+		var p shard.Partial
+		for i := 0; i < b.N; i++ {
+			var err error
+			p, err = shard.RunShard(experiments.DefaultRegistry(), shard.RunShardOptions{
+				Spec:    reproSpec(),
+				Shard:   0,
+				Shards:  1,
+				Workers: workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(p.Cells)), "units")
+	})
+	b.Run(fmt.Sprintf("dispatch/workers=%d", workers), func(b *testing.B) {
+		var p shard.Partial
+		for i := 0; i < b.N; i++ {
+			var err error
+			p, _, err = dispatch.RunLocal(experiments.DefaultRegistry(), reproSpec(), "", workers, dispatch.Options{}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(p.Cells)), "units")
+	})
 }
 
 // BenchmarkAblationBufferCores sweeps B beyond the paper's {4,8}: the

@@ -21,6 +21,20 @@
 // partials covers the manifest exactly and reassembles artifacts
 // byte-identical to a single-process run.
 //
+// Instead of the static plan, the same manifest can be executed
+// dynamically by a work-stealing fleet (see internal/dispatch): a
+// coordinator leases units to workers, requeues the units of crashed
+// or stalled workers, and emits the same byte-identical artifacts:
+//
+//	perfiso-repro serve -manifest FILE -addr HOST:PORT [flags]
+//	perfiso-repro work -coordinator URL [-workers N] [flags]
+//	perfiso-repro run -dispatch N [flags]
+//
+// serve owns the manifest's unit queue and writes the merged outputs
+// when the last unit lands; work executes claim→heartbeat→upload
+// loops against a coordinator; run -dispatch N is the in-process
+// convenience mode (coordinator plus N workers over loopback HTTP).
+//
 // Usage:
 //
 //	perfiso-repro [run] [-list] [-run REGEX] [-scale test|paper]
@@ -35,20 +49,29 @@
 //	perfiso-repro manifest -scale paper -plan 4
 //	perfiso-repro run -scale test -shard 0/3
 //	perfiso-repro merge -scale test -shards results/test/shards
+//	perfiso-repro run -scale test -dispatch 4  # work stealing, one process
+//	perfiso-repro manifest -scale test -o m.json
+//	perfiso-repro serve -manifest m.json -addr 0.0.0.0:7413
+//	perfiso-repro work -coordinator http://host:7413
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"perfiso/internal/dispatch"
 	"perfiso/internal/experiments"
 	"perfiso/internal/shard"
 )
@@ -70,8 +93,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return manifestCmd(rest, stdout, stderr)
 		case "merge":
 			return mergeCmd(rest, stdout, stderr)
+		case "serve":
+			return serveCmd(rest, stdout, stderr)
+		case "work":
+			return workCmd(rest, stdout, stderr)
 		default:
-			fmt.Fprintf(stderr, "perfiso-repro: unknown subcommand %q (want run, manifest or merge)\n", sub)
+			fmt.Fprintf(stderr, "perfiso-repro: unknown subcommand %q (want run, manifest, merge, serve or work)\n", sub)
 			return 2
 		}
 	}
@@ -182,9 +209,18 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 	reportPath := fs.String("report", "RESULTS.md", "reproduction report path (empty disables)")
 	shardSpec := fs.String("shard", "", "execute one shard i/N (zero-based) and write a partial artifact instead of reports")
 	partialPath := fs.String("partial", "", "partial artifact path for -shard (default results/<scale>/shards/shard-<i>-of-<N>.json)")
+	dispatchN := fs.Int("dispatch", 0, "execute via the work-stealing coordinator with N in-process workers (0 = static pool)")
 	tables := fs.Bool("tables", false, "print each experiment's table to stdout")
 	quiet := fs.Bool("quiet", false, "suppress per-cell progress on stderr")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dispatchN < 0 {
+		fmt.Fprintf(stderr, "perfiso-repro: -dispatch %d, want >= 1 (or 0 for the static pool)\n", *dispatchN)
+		return 2
+	}
+	if *dispatchN > 0 && *shardSpec != "" {
+		fmt.Fprintf(stderr, "perfiso-repro: -dispatch and -shard are mutually exclusive (the dispatcher replaces the static plan)\n")
 		return 2
 	}
 
@@ -256,6 +292,33 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if *dispatchN > 0 {
+		// Enumerating first classifies a bad -run pattern as the same
+		// usage error (exit 2) the static path reports; RunLocal
+		// failures past this point are runtime errors (exit 1).
+		if _, err := shard.Build(reg, spec, *runPat); err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+			return 2
+		}
+		p, dt, err := dispatch.RunLocal(reg, spec, *runPat, *dispatchN, dispatch.Options{}, onCell)
+		if err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+			return 1
+		}
+		res, timing, err := shard.Merge(reg, spec, *runPat, []shard.Partial{p})
+		if err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+			return 1
+		}
+		timing.Source = "dispatched"
+		timing.Dispatch = &dt
+		printDispatch(dt, stdout)
+		printRun(res, timing, *tables, stdout)
+		explicit := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		return emitOutputs(res, timing, explicit, *runPat != "", *resultsDir, *reportPath, stdout, stderr)
+	}
+
 	// The manifest hash stamps the artifacts' provenance; building it
 	// also turns a zero-match -run pattern into a loud failure listing
 	// the valid names.
@@ -316,6 +379,10 @@ func manifestCmd(args []string, stdout, stderr io.Writer) int {
 	if *out == "" {
 		_, err = stdout.Write(blob)
 	} else {
+		if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+			return 1
+		}
 		err = os.WriteFile(*out, blob, 0o644)
 	}
 	if err != nil {
@@ -381,4 +448,234 @@ func mergeCmd(args []string, stdout, stderr io.Writer) int {
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	return emitOutputs(res, timing, explicit, *runPat != "", *resultsDir, *reportPath, stdout, stderr)
+}
+
+// printDispatch one-lines how the work-stealing schedule played out.
+func printDispatch(dt experiments.DispatchTiming, stdout io.Writer) {
+	fmt.Fprintf(stdout, "dispatched %d units to %d workers (%d requeues, %d steals, %d stale uploads)\n",
+		dt.Units, len(dt.Workers), dt.Requeues, dt.Steals, dt.StaleUploads)
+	for _, w := range dt.Workers {
+		fmt.Fprintf(stdout, "  worker %-16s %3d units (%d claims, %d steals, %d requeues)\n",
+			w.Worker, w.Units, w.Claims, w.Steals, w.Requeues)
+	}
+}
+
+// serveCmd runs the dispatch coordinator: it owns the manifest's unit
+// queue, leases units to workers, requeues the units of crashed or
+// stalled workers, and — once the last unit lands — merges and emits
+// the same outputs as a single-process run.
+func serveCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("perfiso-repro serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	manifestPath := fs.String("manifest", "", "cell manifest to serve (from `manifest -o FILE`); empty builds one from -scale/-run")
+	runPat := fs.String("run", "", "regexp selecting experiments when building the manifest in-process (unused with -manifest)")
+	scaleName := fs.String("scale", "test", "scale when building the manifest in-process (unused with -manifest)")
+	addr := fs.String("addr", "127.0.0.1:7413", "listen address for the worker protocol")
+	lease := fs.Duration("lease", dispatch.DefaultLeaseTTL, "per-unit lease TTL; a worker silent this long loses its unit")
+	maxAttempts := fs.Int("max-attempts", dispatch.DefaultMaxAttempts, "lease grants per unit before the run fails")
+	linger := fs.Duration("linger", 3*time.Second, "keep answering workers this long after the run ends, so their final claim sees done/failed instead of a torn-down socket")
+	resultsDir := fs.String("results", "results", "artifact directory (empty disables)")
+	reportPath := fs.String("report", "RESULTS.md", "reproduction report path (empty disables)")
+	tables := fs.Bool("tables", false, "print each experiment's table to stdout")
+	quiet := fs.Bool("quiet", false, "suppress scheduling events on stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	reg := experiments.DefaultRegistry()
+	var m shard.Manifest
+	var spec experiments.ScaleSpec
+	if *manifestPath != "" {
+		var err error
+		if m, err = shard.ReadManifest(*manifestPath); err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+			return 2
+		}
+		// The file names its own scale and filter; refuse to serve a
+		// manifest this binary's registry would not reproduce — workers
+		// verify the same way, and the final merge would reject the
+		// mismatch anyway, so fail before any work.
+		var ok bool
+		if spec, ok = parseScale(m.Scale, stderr); !ok {
+			return 2
+		}
+		fresh, err := shard.Build(reg, spec, m.Filter)
+		if err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+			return 2
+		}
+		if fresh.Hash != m.Hash {
+			fmt.Fprintf(stderr, "perfiso-repro: manifest %s was built by a different registry (this binary builds %s for scale %q filter %q) — regenerate it with `perfiso-repro manifest`\n",
+				m.Hash, fresh.Hash, m.Scale, m.Filter)
+			return 2
+		}
+	} else {
+		var ok bool
+		if spec, ok = parseScale(*scaleName, stderr); !ok {
+			return 2
+		}
+		var err error
+		if m, err = shard.Build(reg, spec, *runPat); err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+			return 2
+		}
+	}
+
+	opts := dispatch.Options{LeaseTTL: *lease, MaxAttempts: *maxAttempts}
+	if !*quiet {
+		opts.Logf = func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
+	}
+	c, err := dispatch.NewCoordinator(m, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+		return 2
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+		return 1
+	}
+	units, _ := m.Units() // validated by ReadManifest/Build
+	fmt.Fprintf(stdout, "serving manifest %s: %d units at scale %s on %s\n", m.Hash, len(units), m.Scale, ln.Addr())
+	srv := &http.Server{Handler: c.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	// Claims and heartbeats reap expired leases, but a fleet that died
+	// wholesale sends neither — tick the reaper so those leases still
+	// requeue and an exhausted unit still fails the run.
+	reaper := time.NewTicker(*lease/2 + time.Millisecond)
+	defer reaper.Stop()
+	go func() {
+		for {
+			select {
+			case <-c.Done():
+				return
+			case <-reaper.C:
+				c.Reap()
+			}
+		}
+	}()
+
+	<-c.Done()
+	// Registered after srv.Close's defer, so it runs first: the server
+	// stays up through the linger window and workers polling claim get
+	// the terminal done/failed answer instead of connection refused.
+	defer func() { time.Sleep(*linger) }()
+	if err := c.Err(); err != nil {
+		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+		return 1
+	}
+	p, err := c.Partial()
+	if err != nil {
+		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+		return 1
+	}
+	res, timing, err := shard.Merge(reg, spec, m.Filter, []shard.Partial{p})
+	if err != nil {
+		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+		return 1
+	}
+	dt := c.Timing()
+	timing.Source = "dispatched"
+	timing.Dispatch = &dt
+	printDispatch(dt, stdout)
+	printRun(res, timing, *tables, stdout)
+
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	return emitOutputs(res, timing, explicit, m.Filter != "", *resultsDir, *reportPath, stdout, stderr)
+}
+
+// workCmd runs claim→heartbeat→upload loops against a coordinator
+// until the run completes. The worker rebuilds the coordinator's
+// manifest from its own registry and refuses to execute under a
+// mismatched hash — version skew produces a loud error, never wrong
+// bytes.
+func workCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("perfiso-repro work", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	coordinator := fs.String("coordinator", "", "coordinator base URL (e.g. http://host:7413)")
+	name := fs.String("name", "", "worker name in leases and timing (default host-pid)")
+	loops := fs.Int("workers", 0, "concurrent claim loops in this process (0 = GOMAXPROCS)")
+	quiet := fs.Bool("quiet", false, "suppress per-unit progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *coordinator == "" {
+		fmt.Fprintf(stderr, "perfiso-repro: work needs -coordinator URL\n")
+		return 2
+	}
+	if *name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	ctx := context.Background()
+	m, err := dispatch.FetchManifest(ctx, nil, *coordinator)
+	if err != nil {
+		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+		return 1
+	}
+	spec, ok := parseScale(m.Scale, stderr)
+	if !ok {
+		return 2
+	}
+	reg := experiments.DefaultRegistry()
+	runner, err := shard.NewUnitRunner(reg, spec, m.Filter)
+	if err != nil {
+		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+		return 2
+	}
+	if runner.Manifest.Hash != m.Hash {
+		fmt.Fprintf(stderr, "perfiso-repro: coordinator serves manifest %s but this binary builds %s for scale %q filter %q — version skew, rebuild the worker or regenerate the manifest\n",
+			m.Hash, runner.Manifest.Hash, m.Scale, m.Filter)
+		return 2
+	}
+
+	var onUnit func(exp, cell string, elapsed time.Duration)
+	if !*quiet {
+		var mu sync.Mutex
+		onUnit = func(exp, cell string, elapsed time.Duration) {
+			mu.Lock()
+			fmt.Fprintf(stderr, "done %s/%s (%.2fs)\n", exp, cell, elapsed.Seconds())
+			mu.Unlock()
+		}
+	}
+	n := experiments.PoolSize(*loops, len(runner.Units()))
+	workers := make([]*dispatch.Worker, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range workers {
+		workers[i] = &dispatch.Worker{
+			Coordinator: *coordinator,
+			Name:        fmt.Sprintf("%s/%d", *name, i),
+			Runner:      runner,
+			OnUnit:      onUnit,
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = workers[i].Run(ctx)
+		}(i)
+	}
+	wg.Wait()
+
+	units, stale := 0, 0
+	for _, w := range workers {
+		units += w.Units
+		stale += w.Stale
+	}
+	fmt.Fprintf(stdout, "worker %s: %d loops completed %d units (%d stale uploads)\n", *name, n, units, stale)
+	code := 0
+	for i, err := range errs {
+		if err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: %s: %v\n", workers[i].Name, err)
+			code = 1
+		}
+	}
+	return code
 }

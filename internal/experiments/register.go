@@ -271,7 +271,29 @@ func DefaultRegistry() *Registry {
 		Cells:        func(s ScaleSpec) []Cell { return ablationBufferCells(s.Single) },
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			a := assembleAblationBuffer(results)
-			return a, Report{Table: a.Table(), Rows: ablationBufferRows(cells, results, a.Baseline)}
+			return a, Report{Table: a.Table(), Rows: ablationRows(cells, results, a.Baseline)}
+		},
+	})
+
+	r.MustRegister(Experiment{
+		Name:         "ablation-poll",
+		DecodeResult: DecodeJSONResult[SingleResult],
+		Describe:     "ablation — governor poll cadence swept around the §4.1 100 µs loop at peak load",
+		Cells:        func(s ScaleSpec) []Cell { return ablationPollCells(s.Single) },
+		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
+			a := assembleAblationPoll(results)
+			return a, Report{Table: a.Table(), Rows: ablationRows(cells, results, a.Baseline)}
+		},
+	})
+
+	r.MustRegister(Experiment{
+		Name:         "ablation-holdoff",
+		DecodeResult: DecodeJSONResult[SingleResult],
+		Describe:     "ablation — blind-isolation grow holdoff swept: harvest bought vs tail risked",
+		Cells:        func(s ScaleSpec) []Cell { return ablationHoldoffCells(s.Single) },
+		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
+			a := assembleAblationHoldoff(results)
+			return a, Report{Table: a.Table(), Rows: ablationRows(cells, results, a.Baseline)}
 		},
 	})
 

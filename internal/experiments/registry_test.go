@@ -51,7 +51,8 @@ func TestRegistrySelectFilter(t *testing.T) {
 	r := DefaultRegistry()
 	want := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "headline",
 		"fig9", "fig10", "fullstack", "timeline", "harvest-frontier",
-		"harvest-trace-frontier", "ablation-buffer"}
+		"harvest-trace-frontier", "ablation-buffer", "ablation-poll",
+		"ablation-holdoff"}
 	if got := r.Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("registry order = %v, want %v", got, want)
 	}

@@ -85,18 +85,56 @@ type ShardTiming struct {
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 }
 
+// DispatchWorker is one worker's share of a dispatched run.
+type DispatchWorker struct {
+	// Worker is the name the worker claimed under.
+	Worker string `json:"worker"`
+	// Units is the number of units this worker completed (its upload
+	// was the one accepted).
+	Units int `json:"units"`
+	// Claims counts leases granted, including ones later lost.
+	Claims int `json:"claims"`
+	// Steals counts claims of a unit another worker previously held.
+	Steals int `json:"steals"`
+	// Requeues counts leases this worker let expire.
+	Requeues int `json:"requeues"`
+}
+
+// DispatchTiming records the dynamic scheduling of a dispatched run:
+// how the coordinator's work-stealing queue actually played out. Like
+// the rest of timing.json it is observational — claim order and worker
+// counts never change the merged artifacts.
+type DispatchTiming struct {
+	// LeaseSeconds is the configured per-unit lease TTL.
+	LeaseSeconds float64 `json:"lease_seconds"`
+	// Units is the number of executable units dispatched.
+	Units int `json:"units"`
+	// Requeues counts lease expirations that returned a unit to the
+	// queue; Steals counts re-claims by a different worker.
+	Requeues int `json:"requeues"`
+	Steals   int `json:"steals"`
+	// StaleUploads counts uploads rejected because another worker had
+	// already completed the unit.
+	StaleUploads int              `json:"stale_uploads"`
+	Workers      []DispatchWorker `json:"workers"`
+}
+
 // RunTiming is the non-deterministic side of a run — wall clocks,
 // worker counts and, for merged runs, the shard layout. It is written
 // as timing.json next to the deterministic artifacts and deliberately
 // excluded from the byte-identical guarantee.
 type RunTiming struct {
-	// Source is "single" for an in-process run or "merged" for a run
-	// reassembled from shard partials.
+	// Source is "single" for an in-process run, "merged" for a run
+	// reassembled from shard partials, or "dispatched" for a run
+	// executed through the internal/dispatch coordinator.
 	Source            string        `json:"source"`
 	Workers           int           `json:"workers,omitempty"`
 	ElapsedSeconds    float64       `json:"elapsed_seconds"`
 	SequentialSeconds float64       `json:"sequential_seconds"`
 	Shards            []ShardTiming `json:"shards,omitempty"`
+	// Dispatch, for dispatched runs, records the work-stealing
+	// schedule: per-worker unit counts and steal/requeue totals.
+	Dispatch *DispatchTiming `json:"dispatch,omitempty"`
 }
 
 // TimingOf projects a single-process run's timing.
@@ -339,6 +377,27 @@ func extensionSummaries(res RunResult) []comparison {
 			Match:      true,
 		})
 	}
+	if v, ok := res.Value("ablation-poll").(AblationPoll); ok && len(v.Cells) > 0 {
+		fast, slow := v.Polls[0], v.Polls[len(v.Polls)-1]
+		_, _, dFast := v.Cells[fast].DegradationMs(v.Baseline)
+		_, _, dSlow := v.Cells[slow].DegradationMs(v.Baseline)
+		out = append(out, comparison{
+			Figure:     "ablation-poll",
+			Paper:      "poll cadence sweep around §4.1's 100 µs loop: rescue latency vs harvest kept",
+			Reproduced: fmt.Sprintf("at %d QPS: poll=%s ∆P99 %+.2f ms / sec%% %.1f vs poll=%s ∆P99 %+.2f ms / sec%% %.1f", ablationQPS, durLabel(fast), dFast, v.Cells[fast].Breakdown.SecondaryPct, durLabel(slow), dSlow, v.Cells[slow].Breakdown.SecondaryPct),
+			Match:      true,
+		})
+	}
+	if v, ok := res.Value("ablation-holdoff").(AblationHoldoff); ok && len(v.Cells) > 0 {
+		fast, slow := v.Holdoffs[0], v.Holdoffs[len(v.Holdoffs)-1]
+		rFast, rSlow := v.Cells[fast], v.Cells[slow]
+		out = append(out, comparison{
+			Figure:     "ablation-holdoff",
+			Paper:      "grow holdoff sweep: faster growth harvests more but re-shrinks more often",
+			Reproduced: fmt.Sprintf("at %d QPS: holdoff=%s sec%% %.1f / P99 %.2f ms vs holdoff=%s sec%% %.1f / P99 %.2f ms", ablationHoldoffQPS, durLabel(fast), rFast.Breakdown.SecondaryPct, rFast.Latency.P99Ms, durLabel(slow), rSlow.Breakdown.SecondaryPct, rSlow.Latency.P99Ms),
+			Match:      true,
+		})
+	}
 	if v, ok := res.Value("harvest-trace-frontier").(HarvestTraceFrontier); ok && len(v.Points) > 0 {
 		const what = "placement frontier holds under a replayed bursty, heavy-tailed batch trace"
 		synth, okS := v.Point("harvest-aware", "synthetic")
@@ -381,9 +440,13 @@ count), ` + "`-scale paper`" + ` runs the full published trace sizes, and
 across machines: ` + "`perfiso-repro manifest`" + ` enumerates the cells,
 ` + "`perfiso-repro run -shard i/N`" + ` executes one cost-balanced shard, and
 ` + "`perfiso-repro merge -shards DIR`" + ` reassembles artifacts byte-identical
-to a single-process run. CI regenerates this report at test scale —
-both single-process and via a 3-way shard merge — and fails if either
-drifts from the committed copy.
+to a single-process run. The same manifest also executes dynamically:
+` + "`perfiso-repro serve`" + ` dispatches units to work-stealing
+` + "`perfiso-repro work`" + ` processes under lease-based fault tolerance
+(` + "`run -dispatch N`" + ` is the one-process version), with identical bytes
+again. CI regenerates this report at test scale — single-process, via
+a 3-way shard merge, and via a dispatched run with an injected worker
+failure — and fails if any of them drifts from the committed copy.
 
 `)
 

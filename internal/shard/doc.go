@@ -23,4 +23,9 @@
 // cmd/perfiso-repro exposes the three as the manifest, run -shard i/N
 // and merge subcommands; CI proves merge ≡ single-process on every
 // push with a 3-way shard matrix.
+//
+// UnitRunner is the execution core shared with internal/dispatch: it
+// runs and serializes one manifest unit at a time, so the same cells
+// can be executed from a static plan or claimed dynamically from a
+// work-stealing coordinator, with identical bytes either way.
 package shard

@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"regexp"
 
 	"perfiso/internal/experiments"
@@ -93,6 +95,44 @@ func (m Manifest) hash() string {
 	}
 	sum := sha256.Sum256(blob)
 	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// WriteManifest writes a manifest as indented JSON, creating parent
+// directories.
+func WriteManifest(path string, m Manifest) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// ReadManifest loads a manifest artifact and verifies its integrity:
+// the version must be current, the embedded hash must match a
+// recomputation over the loaded cells (a hand-edited or truncated file
+// fails loudly), and the cells must group into valid units.
+func ReadManifest(path string) (Manifest, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return Manifest{}, fmt.Errorf("shard: %s: %w", path, err)
+	}
+	if m.Version != ManifestVersion {
+		return Manifest{}, fmt.Errorf("shard: %s is manifest version %d, this binary speaks %d", path, m.Version, ManifestVersion)
+	}
+	if got := m.hash(); got != m.Hash {
+		return Manifest{}, fmt.Errorf("shard: %s: embedded hash %s does not match recomputed %s (file edited or corrupted)", path, m.Hash, got)
+	}
+	if _, err := m.Units(); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
 }
 
 // UnitID names a manifest cell's executable unit: its dedup key, or

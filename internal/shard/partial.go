@@ -6,7 +6,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"sync"
 	"time"
 
 	"perfiso/internal/experiments"
@@ -61,96 +60,38 @@ type RunShardOptions struct {
 
 // RunShard builds the manifest, plans it, and executes this shard's
 // units on a worker pool. The returned partial embeds the manifest
-// hash so Merge can verify every shard planned the same run.
+// hash so Merge can verify every shard planned the same run. A shard
+// whose assignment is empty (more shards than units) yields a valid
+// empty partial that Merge accepts.
 func RunShard(reg *experiments.Registry, opts RunShardOptions) (Partial, error) {
 	if opts.Shard < 0 || opts.Shard >= opts.Shards {
 		return Partial{}, fmt.Errorf("shard: index %d out of range for %d shards (zero-based)", opts.Shard, opts.Shards)
 	}
-	m, err := Build(reg, opts.Spec, opts.Filter)
+	r, err := NewUnitRunner(reg, opts.Spec, opts.Filter)
 	if err != nil {
 		return Partial{}, err
 	}
-	plan, err := PlanShards(m, opts.Shards)
+	plan, err := PlanShards(r.Manifest, opts.Shards)
 	if err != nil {
 		return Partial{}, err
 	}
-	units, _ := m.Units() // validated by Build
-	byID := map[string]Unit{}
-	for _, u := range units {
-		byID[u.ID] = u
-	}
-
-	// Map each assigned unit back to its executable cell. Build just
-	// re-enumerated the registry, so manifest indices align with a
-	// fresh enumeration.
-	live := liveCells(reg, opts.Spec, opts.Filter)
 	mine := plan.Shards[opts.Shard].Units
-	cells := make([]experiments.Cell, len(mine))
-	for i, id := range mine {
-		u, ok := byID[id]
-		if !ok {
-			return Partial{}, fmt.Errorf("shard: plan references unknown unit %s", id)
-		}
-		cells[i] = live[u.Cells[0]]
-	}
-
-	// Run the shard's cells, expensive first, recording per-cell wall
-	// clock. Each index is written once, so the slices need no lock.
-	order := experiments.CostOrder(cells)
-	secs := make([]float64, len(cells))
-	run := make([]experiments.Cell, len(order))
-	var mu sync.Mutex
-	for i, ci := range order {
-		ci := ci
-		orig := cells[ci].Run
-		name := cells[ci].Name
-		exp := m.Cells[byID[mine[ci]].Cells[0]].Experiment
-		run[i] = experiments.Cell{Name: name, Run: func() any {
-			start := time.Now()
-			v := orig()
-			d := time.Since(start)
-			secs[ci] = d.Seconds()
-			if opts.OnCell != nil {
-				mu.Lock()
-				opts.OnCell(exp, name, d)
-				mu.Unlock()
-			}
-			return v
-		}}
-	}
 	start := time.Now()
-	resultsByOrder := experiments.RunCells(run, opts.Workers)
-	elapsed := time.Since(start)
-	results := make([]any, len(cells))
-	for i, ci := range order {
-		results[ci] = resultsByOrder[i]
+	cells, err := r.RunUnits(mine, opts.Workers, opts.OnCell)
+	if err != nil {
+		return Partial{}, err
 	}
-
-	p := Partial{
+	return Partial{
 		Version:        PartialVersion,
-		ManifestHash:   m.Hash,
+		ManifestHash:   r.Manifest.Hash,
 		Scale:          opts.Spec.Name,
 		Filter:         opts.Filter,
 		Shard:          opts.Shard,
 		Shards:         opts.Shards,
-		Workers:        experiments.PoolSize(opts.Workers, len(cells)),
-		ElapsedSeconds: elapsed.Seconds(),
-	}
-	for i, id := range mine {
-		mc := m.Cells[byID[id].Cells[0]]
-		blob, err := json.Marshal(results[i])
-		if err != nil {
-			return Partial{}, fmt.Errorf("shard: encoding %s/%s: %w", mc.Experiment, mc.Cell, err)
-		}
-		p.Cells = append(p.Cells, PartialCell{
-			Unit:       id,
-			Experiment: mc.Experiment,
-			Cell:       mc.Cell,
-			Result:     blob,
-			Seconds:    secs[i],
-		})
-	}
-	return p, nil
+		Workers:        experiments.PoolSize(opts.Workers, len(mine)),
+		ElapsedSeconds: time.Since(start).Seconds(),
+		Cells:          cells,
+	}, nil
 }
 
 // liveCells flattens the registry's cell enumeration in manifest

@@ -280,6 +280,113 @@ func TestMergeByteIdentical(t *testing.T) {
 	}
 }
 
+// TestEmptyShardPartial: planning more shards than units leaves some
+// assignments empty; running such a shard must still produce a valid
+// (empty) partial that Merge accepts alongside the populated ones, and
+// the merged artifacts must match a single-process run byte-for-byte.
+func TestEmptyShardPartial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	spec := experiments.TestSpec()
+	reg := experiments.DefaultRegistry()
+	const filter = "^fig10$" // one unit, so 2 of 3 shards are empty
+
+	m, err := Build(reg, spec, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, _ := m.Units()
+	if len(units) != 1 {
+		t.Fatalf("fig10 has %d units, test expects 1", len(units))
+	}
+
+	partials := make([]Partial, 3)
+	empty := 0
+	for i := range partials {
+		p, err := RunShard(reg, RunShardOptions{Spec: spec, Filter: filter, Shard: i, Shards: 3})
+		if err != nil {
+			t.Fatalf("shard %d/3: %v", i, err)
+		}
+		if p.ManifestHash != m.Hash {
+			t.Errorf("shard %d/3 manifest %s, want %s", i, p.ManifestHash, m.Hash)
+		}
+		if len(p.Cells) == 0 {
+			empty++
+		}
+		partials[i] = p
+	}
+	if empty != 2 {
+		t.Fatalf("%d empty partials, want 2", empty)
+	}
+
+	// Empty partials survive the disk round-trip and the merge.
+	dir := t.TempDir()
+	for i, p := range partials {
+		if err := WritePartial(filepath.Join(dir, "s"+string(rune('0'+i))+".json"), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reread, err := ReadPartialsDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, _, err := Merge(reg, spec, filter, reread)
+	if err != nil {
+		t.Fatalf("merge with empty partials: %v", err)
+	}
+
+	single, err := reg.Run(experiments.RunOptions{Spec: spec, Filter: regexp.MustCompile(filter)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.ManifestHash = m.Hash
+	wantSummary, wantCSV, wantMD := artifactBytes(t, single)
+	gotSummary, gotCSV, gotMD := artifactBytes(t, merged)
+	if !bytes.Equal(gotSummary, wantSummary) || !bytes.Equal(gotCSV, wantCSV) || !bytes.Equal(gotMD, wantMD) {
+		t.Error("artifacts differ between empty-shard merge and single-process run")
+	}
+}
+
+// TestManifestFileRoundTrip: WriteManifest/ReadManifest round-trip,
+// and ReadManifest rejects tampered or version-skewed files.
+func TestManifestFileRoundTrip(t *testing.T) {
+	m, err := Build(experiments.DefaultRegistry(), experiments.TestSpec(), "^fig10$")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sub", "m.json")
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Error("manifest changed across the disk round-trip")
+	}
+
+	tampered := m
+	tampered.Scale = "paper" // cells no longer match the embedded hash
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := WriteManifest(bad, tampered); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(bad); err == nil || !strings.Contains(err.Error(), "hash") {
+		t.Errorf("tampered manifest accepted: %v", err)
+	}
+
+	skewed := m
+	skewed.Version = ManifestVersion + 1
+	if err := WriteManifest(bad, skewed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("version-skewed manifest accepted: %v", err)
+	}
+}
+
 // TestRunShardBounds: out-of-range shard indices fail fast.
 func TestRunShardBounds(t *testing.T) {
 	for _, bad := range []struct{ i, n int }{{-1, 3}, {3, 3}, {0, 0}} {
