@@ -34,6 +34,7 @@ import (
 	"perfiso/internal/experiments"
 	"perfiso/internal/isolation"
 	"perfiso/internal/node"
+	"perfiso/internal/obs"
 	"perfiso/internal/shard"
 	"perfiso/internal/sim"
 	"perfiso/internal/workload"
@@ -214,6 +215,45 @@ func BenchmarkReproAll(b *testing.B) {
 			}
 			b.ReportMetric(float64(res.CellCount), "cells")
 			b.ReportMetric(float64(runtime.NumCPU()), "cores")
+		})
+	}
+}
+
+// BenchmarkStatsOverhead prices the observability layer on the sim
+// hot path: the same single-node simulation with the default noop
+// tracker, with a recording tracker installed process-wide, and with
+// RNG draw accounting on top. The noop row is the cost every
+// uninstrumented run pays — each engine caches one enabled boolean, so
+// it must stay within noise (≤2%) of the pre-instrumentation baseline.
+func BenchmarkStatsOverhead(b *testing.B) {
+	qps := experiments.Loads[len(experiments.Loads)-1]
+	for _, mode := range []struct {
+		name  string
+		setup func() (teardown func())
+	}{
+		{"noop", func() func() { return func() {} }},
+		{"recording", func() func() {
+			obs.SetDefault(obs.NewRecording())
+			return func() { obs.SetDefault(nil) }
+		}},
+		{"recording+rng", func() func() {
+			obs.SetDefault(obs.NewRecording())
+			sim.SetRNGAccounting(true)
+			return func() {
+				sim.SetRNGAccounting(false)
+				obs.SetDefault(nil)
+			}
+		}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			teardown := mode.setup()
+			defer teardown()
+			b.ResetTimer()
+			var r experiments.SingleResult
+			for i := 0; i < b.N; i++ {
+				r = experiments.RunSingle(qps, experiments.BullyHigh, perfiso.PolicyBlind(8), benchScale())
+			}
+			b.ReportMetric(r.Latency.P99Ms, "p99ms")
 		})
 	}
 }

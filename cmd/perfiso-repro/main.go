@@ -35,11 +35,19 @@
 // loops against a coordinator; run -dispatch N is the in-process
 // convenience mode (coordinator plus N workers over loopback HTTP).
 //
+// Observability is opt-in and changes no committed artifact: run
+// -stats folds hot-path counters plus phase and top-cell cost
+// breakdowns into timing.json, run -trace writes a per-cell
+// trace.jsonl (shards embed spans in their partials and merge
+// reassembles the run-wide trace), and serve exposes Prometheus text
+// on /metrics (plus net/http/pprof with -pprof).
+//
 // Usage:
 //
 //	perfiso-repro [run] [-list] [-run REGEX] [-scale test|paper]
 //	              [-workers N] [-results DIR] [-report FILE]
-//	              [-shard i/N] [-partial FILE] [-tables] [-quiet]
+//	              [-shard i/N] [-partial FILE] [-stats] [-trace]
+//	              [-tables] [-quiet]
 //
 // Examples:
 //
@@ -50,8 +58,9 @@
 //	perfiso-repro run -scale test -shard 0/3
 //	perfiso-repro merge -scale test -shards results/test/shards
 //	perfiso-repro run -scale test -dispatch 4  # work stealing, one process
+//	perfiso-repro run -scale test -stats -trace
 //	perfiso-repro manifest -scale test -o m.json
-//	perfiso-repro serve -manifest m.json -addr 0.0.0.0:7413
+//	perfiso-repro serve -manifest m.json -addr 0.0.0.0:7413 -stats -pprof
 //	perfiso-repro work -coordinator http://host:7413
 package main
 
@@ -61,8 +70,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -73,7 +84,9 @@ import (
 
 	"perfiso/internal/dispatch"
 	"perfiso/internal/experiments"
+	"perfiso/internal/obs"
 	"perfiso/internal/shard"
+	"perfiso/internal/sim"
 )
 
 func main() {
@@ -136,11 +149,61 @@ func parseShard(s string) (idx, count int, err error) {
 	return idx, count, nil
 }
 
+// topCellsN bounds the per-cell cost breakdown folded into timing.json
+// by -stats.
+const topCellsN = 10
+
+// statsTracking turns process-wide observability recording on for the
+// duration of a run. The returned stop restores the zero-cost default.
+func statsTracking(enabled bool) (rec *obs.Recording, stop func()) {
+	if !enabled {
+		return nil, func() {}
+	}
+	rec = obs.NewRecording()
+	obs.SetDefault(rec)
+	sim.ResetRNGDraws()
+	sim.SetRNGAccounting(true)
+	return rec, func() {
+		sim.SetRNGAccounting(false)
+		obs.SetDefault(nil)
+	}
+}
+
+// foldStats stamps the recorded counters, the phase breakdown and the
+// most expensive cells into the timing sidecar. A nil rec (stats off)
+// leaves the timing untouched, keeping the sidecar byte-compatible
+// with uninstrumented runs.
+func foldStats(timing *experiments.RunTiming, rec *obs.Recording,
+	cellTimings []experiments.CellTiming, phases []experiments.PhaseTiming) {
+	if rec == nil {
+		return
+	}
+	s := rec.Snapshot()
+	s.RNGDraws = sim.RNGDraws()
+	timing.Stats = &s
+	timing.Phases = phases
+	timing.TopCells = experiments.TopCells(cellTimings, topCellsN)
+}
+
+// writeTrace writes the run-wide trace next to timing.json.
+func writeTrace(dir string, spans []obs.Span) error {
+	f, err := os.Create(filepath.Join(dir, "trace.jsonl"))
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteJSONL(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // emitOutputs writes the deterministic artifacts, the timing sidecar
 // and the markdown report, honoring the explicit-flag guards that keep
 // filtered or paper-scale runs from clobbering the committed outputs.
+// spans, when non-empty, lands as trace.jsonl next to timing.json.
 func emitOutputs(res experiments.RunResult, timing experiments.RunTiming, explicit map[string]bool,
-	filterActive bool, resultsDir, reportPath string, stdout, stderr io.Writer) int {
+	filterActive bool, resultsDir, reportPath string, spans []obs.Span, stdout, stderr io.Writer) int {
 	spec := res.Spec
 	if resultsDir != "" {
 		if filterActive && !explicit["results"] {
@@ -157,6 +220,13 @@ func emitOutputs(res experiments.RunResult, timing experiments.RunTiming, explic
 			}
 			fmt.Fprintf(stdout, "wrote %s, %s and %s\n", filepath.Join(dir, "summary.json"),
 				filepath.Join(dir, "cells.csv"), filepath.Join(dir, "timing.json"))
+			if len(spans) > 0 {
+				if err := writeTrace(dir, spans); err != nil {
+					fmt.Fprintf(stderr, "perfiso-repro: writing trace: %v\n", err)
+					return 1
+				}
+				fmt.Fprintf(stdout, "wrote %s\n", filepath.Join(dir, "trace.jsonl"))
+			}
 		}
 	}
 
@@ -210,6 +280,8 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 	shardSpec := fs.String("shard", "", "execute one shard i/N (zero-based) and write a partial artifact instead of reports")
 	partialPath := fs.String("partial", "", "partial artifact path for -shard (default results/<scale>/shards/shard-<i>-of-<N>.json)")
 	dispatchN := fs.Int("dispatch", 0, "execute via the work-stealing coordinator with N in-process workers (0 = static pool)")
+	stats := fs.Bool("stats", false, "record hot-path counters and fold them (plus phase and top-cell cost breakdowns) into timing.json")
+	traceFlag := fs.Bool("trace", false, "collect one span per executed cell; full runs write trace.jsonl next to timing.json, -shard embeds the spans in the partial")
 	tables := fs.Bool("tables", false, "print each experiment's table to stdout")
 	quiet := fs.Bool("quiet", false, "suppress per-cell progress on stderr")
 	if err := fs.Parse(args); err != nil {
@@ -254,6 +326,16 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Trackers and tracers observe without participating: the seeded
+	// simulations never read them, so summary.json, cells.csv and
+	// RESULTS.md come out byte-identical with or without -stats/-trace.
+	rec, stopStats := statsTracking(*stats)
+	defer stopStats()
+	var tracer *obs.TraceBuffer
+	if *traceFlag {
+		tracer = obs.NewTraceBuffer()
+	}
+
 	if *shardSpec != "" {
 		idx, count, err := parseShard(*shardSpec)
 		if err != nil {
@@ -278,6 +360,7 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 			Shards:  count,
 			Workers: *workers,
 			OnCell:  onCell,
+			Trace:   *traceFlag,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
@@ -300,7 +383,10 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
 			return 2
 		}
-		p, dt, err := dispatch.RunLocal(reg, spec, *runPat, *dispatchN, dispatch.Options{}, onCell)
+		// The recording tracker (when -stats) is already the process
+		// default, so the coordinator and workers pick it up without
+		// explicit plumbing.
+		p, dt, err := dispatch.RunLocal(reg, spec, *runPat, *dispatchN, dispatch.Options{Tracer: tracer}, onCell)
 		if err != nil {
 			fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
 			return 1
@@ -312,11 +398,12 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 		}
 		timing.Source = "dispatched"
 		timing.Dispatch = &dt
+		foldStats(&timing, rec, res.CellTimings, res.Phases)
 		printDispatch(dt, stdout)
 		printRun(res, timing, *tables, stdout)
 		explicit := map[string]bool{}
 		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		return emitOutputs(res, timing, explicit, *runPat != "", *resultsDir, *reportPath, stdout, stderr)
+		return emitOutputs(res, timing, explicit, *runPat != "", *resultsDir, *reportPath, p.Spans, stdout, stderr)
 	}
 
 	// The manifest hash stamps the artifacts' provenance; building it
@@ -328,18 +415,23 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	res, err := reg.Run(experiments.RunOptions{Spec: spec, Workers: *workers, Filter: filter, OnCell: onCell})
+	res, err := reg.Run(experiments.RunOptions{Spec: spec, Workers: *workers, Filter: filter, OnCell: onCell, Tracer: tracer})
 	if err != nil {
 		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
 		return 2
 	}
 	res.ManifestHash = m.Hash
 	timing := experiments.TimingOf(res)
+	foldStats(&timing, rec, res.CellTimings, res.Phases)
+	var spans []obs.Span
+	if tracer != nil {
+		spans = tracer.Spans()
+	}
 	printRun(res, timing, *tables, stdout)
 
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	return emitOutputs(res, timing, explicit, filter != nil, *resultsDir, *reportPath, stdout, stderr)
+	return emitOutputs(res, timing, explicit, filter != nil, *resultsDir, *reportPath, spans, stdout, stderr)
 }
 
 // manifestCmd emits the cell manifest (or a shard plan of it) without
@@ -447,7 +539,10 @@ func mergeCmd(args []string, stdout, stderr io.Writer) int {
 
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	return emitOutputs(res, timing, explicit, *runPat != "", *resultsDir, *reportPath, stdout, stderr)
+	// Shards run with -trace embed spans in their partials; the merge
+	// reassembles them into the run-wide trace automatically.
+	return emitOutputs(res, timing, explicit, *runPat != "", *resultsDir, *reportPath,
+		shard.CollectSpans(partials), stdout, stderr)
 }
 
 // printDispatch one-lines how the work-stealing schedule played out.
@@ -476,6 +571,9 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 	linger := fs.Duration("linger", 3*time.Second, "keep answering workers this long after the run ends, so their final claim sees done/failed instead of a torn-down socket")
 	resultsDir := fs.String("results", "results", "artifact directory (empty disables)")
 	reportPath := fs.String("report", "RESULTS.md", "reproduction report path (empty disables)")
+	stats := fs.Bool("stats", false, "record coordinator counters, serve them on /metrics and fold them into timing.json")
+	traceFlag := fs.Bool("trace", false, "collect one span per completed unit and write trace.jsonl next to timing.json")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on -addr")
 	tables := fs.Bool("tables", false, "print each experiment's table to stdout")
 	quiet := fs.Bool("quiet", false, "suppress scheduling events on stderr")
 	if err := fs.Parse(args); err != nil {
@@ -523,7 +621,14 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 
 	opts := dispatch.Options{LeaseTTL: *lease, MaxAttempts: *maxAttempts}
 	if !*quiet {
-		opts.Logf = func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
+		opts.Log = slog.New(slog.NewTextHandler(stderr, nil))
+	}
+	rec, stopStats := statsTracking(*stats)
+	defer stopStats()
+	var tracer *obs.TraceBuffer
+	if *traceFlag {
+		tracer = obs.NewTraceBuffer()
+		opts.Tracer = tracer
 	}
 	c, err := dispatch.NewCoordinator(m, opts)
 	if err != nil {
@@ -537,7 +642,29 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	units, _ := m.Units() // validated by ReadManifest/Build
 	fmt.Fprintf(stdout, "serving manifest %s: %d units at scale %s on %s\n", m.Hash, len(units), m.Scale, ln.Addr())
-	srv := &http.Server{Handler: c.Handler()}
+	// The worker protocol and the observability endpoints share -addr:
+	// /metrics always answers (the coordinator's gauges cost one lock),
+	// the recording counters join it under -stats, and the pprof
+	// handlers mount only on request.
+	mux := http.NewServeMux()
+	mux.Handle("/", c.Handler())
+	mux.Handle("GET /metrics", obs.PromHandler(func() []obs.Metric {
+		ms := c.Metrics()
+		if rec != nil {
+			s := rec.Snapshot()
+			s.RNGDraws = sim.RNGDraws()
+			ms = append(ms, s.Metrics()...)
+		}
+		return ms
+	}))
+	if *pprofFlag {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	defer srv.Close()
 
@@ -571,6 +698,9 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
 		return 1
 	}
+	if tracer != nil {
+		p.Spans = tracer.Spans()
+	}
 	res, timing, err := shard.Merge(reg, spec, m.Filter, []shard.Partial{p})
 	if err != nil {
 		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
@@ -579,12 +709,13 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 	dt := c.Timing()
 	timing.Source = "dispatched"
 	timing.Dispatch = &dt
+	foldStats(&timing, rec, res.CellTimings, res.Phases)
 	printDispatch(dt, stdout)
 	printRun(res, timing, *tables, stdout)
 
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	return emitOutputs(res, timing, explicit, m.Filter != "", *resultsDir, *reportPath, stdout, stderr)
+	return emitOutputs(res, timing, explicit, m.Filter != "", *resultsDir, *reportPath, p.Spans, stdout, stderr)
 }
 
 // workCmd runs claim→heartbeat→upload loops against a coordinator
@@ -638,11 +769,9 @@ func workCmd(args []string, stdout, stderr io.Writer) int {
 
 	var onUnit func(exp, cell string, elapsed time.Duration)
 	if !*quiet {
-		var mu sync.Mutex
+		logger := slog.New(slog.NewTextHandler(stderr, nil)).With("worker", *name)
 		onUnit = func(exp, cell string, elapsed time.Duration) {
-			mu.Lock()
-			fmt.Fprintf(stderr, "done %s/%s (%.2fs)\n", exp, cell, elapsed.Seconds())
-			mu.Unlock()
+			logger.Info("unit done", "experiment", exp, "cell", cell, "seconds", elapsed.Seconds())
 		}
 	}
 	n := experiments.PoolSize(*loops, len(runner.Units()))

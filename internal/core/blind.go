@@ -2,6 +2,7 @@ package core
 
 import (
 	"perfiso/internal/cpumodel"
+	"perfiso/internal/obs"
 	"perfiso/internal/osmodel"
 	"perfiso/internal/sim"
 	"perfiso/internal/stats"
@@ -60,6 +61,11 @@ type BlindIsolation struct {
 	AllocSeries *stats.TimeSeries
 
 	sampleEvery uint64
+
+	// trk observes grow/shrink/holdoff decisions; track caches
+	// trk.Enabled() so the disabled path is one branch.
+	trk   obs.Tracker
+	track bool
 }
 
 // NewBlindIsolation builds the isolator for a secondary job. It does not
@@ -78,7 +84,18 @@ func NewBlindIsolation(os *osmodel.OS, job *osmodel.Job, cfg Config) *BlindIsola
 		harvestAlpha: alpha,
 	}
 	b.maxSec = b.secLimit(b.buffer)
+	b.SetTracker(obs.Default())
 	return b
+}
+
+// SetTracker replaces the isolator's tracker (nil restores the noop
+// tracker). Trackers are pure observers and never alter decisions.
+func (b *BlindIsolation) SetTracker(t obs.Tracker) {
+	if t == nil {
+		t = obs.NopTracker()
+	}
+	b.trk = t
+	b.track = t.Enabled()
 }
 
 // secLimit is the effective secondary-core ceiling for a given buffer:
@@ -174,8 +191,14 @@ func (b *BlindIsolation) Disable() {
 	all := b.os.Cores()
 	if all > b.allocated {
 		b.Grows++
+		if b.track {
+			b.trk.BufferGrow(all)
+		}
 	} else if all < b.allocated {
 		b.Shrinks++
+		if b.track {
+			b.trk.BufferShrink(all)
+		}
 	}
 	b.allocated = all
 	b.job.SetAffinity(cpumodel.AllCores(all))
@@ -216,6 +239,8 @@ func (b *BlindIsolation) Poll() {
 			if b.allocated < b.maxSec && (b.lastGrow == 0 || now.Sub(b.lastGrow) >= b.holdoff) {
 				b.apply(b.allocated + 1)
 				b.lastGrow = now
+			} else if b.track && b.allocated < b.maxSec {
+				b.trk.HoldoffDeferred()
 			}
 		}
 	}
@@ -241,8 +266,14 @@ func (b *BlindIsolation) apply(cores int) {
 	}
 	if cores < b.allocated {
 		b.Shrinks++
+		if b.track {
+			b.trk.BufferShrink(cores)
+		}
 	} else if cores > b.allocated {
 		b.Grows++
+		if b.track {
+			b.trk.BufferGrow(cores)
+		}
 	}
 	b.allocated = cores
 	b.job.SetAffinity(cpumodel.TopCores(b.os.Cores(), cores))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"perfiso/internal/obs"
 	"perfiso/internal/osmodel"
 	"perfiso/internal/sim"
 )
@@ -31,6 +32,8 @@ type MemoryGuard struct {
 	// OnKill, when set, observes guard kills (Autopilot hooks in to
 	// restart or reschedule the batch work elsewhere).
 	OnKill func(reason string)
+
+	trk obs.Tracker
 }
 
 // NewMemoryGuard builds a guard for the secondary job.
@@ -40,7 +43,17 @@ func NewMemoryGuard(os *osmodel.OS, job *osmodel.Job, cfg Config) *MemoryGuard {
 		job:     job,
 		limit:   cfg.SecondaryMemoryLimit,
 		reserve: cfg.SystemMemoryReserve,
+		trk:     obs.Default(),
 	}
+}
+
+// SetTracker replaces the guard's tracker (nil restores the noop
+// tracker).
+func (g *MemoryGuard) SetTracker(t obs.Tracker) {
+	if t == nil {
+		t = obs.NopTracker()
+	}
+	g.trk = t
 }
 
 // Start begins polling. A guard with neither limit nor reserve is
@@ -86,6 +99,9 @@ func (g *MemoryGuard) Poll() {
 func (g *MemoryGuard) kill(reason string) {
 	g.job.Kill()
 	g.Kills++
+	if g.trk.Enabled() {
+		g.trk.Eviction()
+	}
 	if g.OnKill != nil {
 		g.OnKill(reason)
 	}

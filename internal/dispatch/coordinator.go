@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"perfiso/internal/experiments"
+	"perfiso/internal/obs"
 	"perfiso/internal/shard"
 )
 
@@ -33,9 +35,16 @@ type Options struct {
 	// WaitHint is the retry delay told to workers when nothing is
 	// claimable. Zero means DefaultWaitHint.
 	WaitHint time.Duration
-	// Logf, when set, receives one line per scheduling event (claim,
-	// upload, requeue, stale upload, failure).
-	Logf func(format string, args ...any)
+	// Log, when set, receives one structured record per scheduling
+	// event (claim, upload, requeue, stale upload, failure), carrying
+	// worker/unit/lease fields so fleet logs are greppable by unit.
+	Log *slog.Logger
+	// Tracker observes coordinator decisions (claims, steals, lease
+	// expiries, stale uploads). Nil means the process-wide default.
+	Tracker obs.Tracker
+	// Tracer, when set, collects one span per completed unit so a
+	// dispatched run can be reassembled into a run-wide trace.
+	Tracer *obs.TraceBuffer
 
 	// now substitutes the clock in tests.
 	now func() time.Time
@@ -51,13 +60,15 @@ const (
 
 // unitState is the coordinator's book-keeping for one unit.
 type unitState struct {
-	unit     shard.Unit
-	status   unitStatus
-	attempts int       // lease grants so far
-	worker   string    // current lease holder when leased
-	expires  time.Time // lease deadline when leased
-	last     string    // previous holder, for steal accounting
-	cell     shard.PartialCell
+	unit      shard.Unit
+	status    unitStatus
+	attempts  int       // lease grants so far
+	worker    string    // current lease holder when leased
+	expires   time.Time // lease deadline when leased
+	last      string    // previous holder, for steal accounting
+	claimedAt time.Time // when the winning lease was granted
+	uploader  string    // worker whose result was accepted
+	cell      shard.PartialCell
 }
 
 // Coordinator owns a manifest's unit queue and lease table and speaks
@@ -100,6 +111,9 @@ func NewCoordinator(m shard.Manifest, opts Options) (*Coordinator, error) {
 	if opts.now == nil {
 		opts.now = time.Now
 	}
+	if opts.Tracker == nil {
+		opts.Tracker = obs.Default()
+	}
 	c := &Coordinator{
 		opts:     opts,
 		manifest: m,
@@ -126,9 +140,9 @@ func NewCoordinator(m shard.Manifest, opts Options) (*Coordinator, error) {
 	return c, nil
 }
 
-func (c *Coordinator) logf(format string, args ...any) {
-	if c.opts.Logf != nil {
-		c.opts.Logf(format, args...)
+func (c *Coordinator) log(msg string, args ...any) {
+	if c.opts.Log != nil {
+		c.opts.Log.Info(msg, args...)
 	}
 }
 
@@ -158,7 +172,11 @@ func (c *Coordinator) reap(now time.Time) {
 		s.last = s.worker
 		s.worker = ""
 		s.status = unitPending
-		c.logf("dispatch: lease on %s expired (held by %s, attempt %d) — requeued", s.unit.ID, s.last, s.attempts)
+		if c.opts.Tracker.Enabled() {
+			c.opts.Tracker.LeaseExpired()
+		}
+		c.log("lease expired, unit requeued",
+			"unit", s.unit.ID, "worker", s.last, "attempt", s.attempts, "lease", c.opts.LeaseTTL)
 		if s.attempts >= c.opts.MaxAttempts {
 			c.poisoned = append(c.poisoned, s.unit.ID)
 		}
@@ -166,7 +184,7 @@ func (c *Coordinator) reap(now time.Time) {
 	if len(c.poisoned) > 0 {
 		c.failure = fmt.Errorf("dispatch: %d unit(s) exhausted %d attempts: %s",
 			len(c.poisoned), c.opts.MaxAttempts, strings.Join(c.poisoned, ", "))
-		c.logf("dispatch: run failed: %v", c.failure)
+		c.log("run failed", "error", c.failure.Error())
 		close(c.done)
 	}
 }
@@ -214,14 +232,23 @@ func (c *Coordinator) claim(worker string) claimResponse {
 		s.worker = worker
 		s.attempts++
 		s.expires = now.Add(c.opts.LeaseTTL)
+		s.claimedAt = now
 		w := c.worker(worker)
 		w.Claims++
+		if c.opts.Tracker.Enabled() {
+			c.opts.Tracker.Claim()
+		}
 		if s.last != "" && s.last != worker {
 			c.steals++
 			w.Steals++
-			c.logf("dispatch: %s stole %s from %s (attempt %d)", worker, s.unit.ID, s.last, s.attempts)
+			if c.opts.Tracker.Enabled() {
+				c.opts.Tracker.Steal()
+			}
+			c.log("unit stolen",
+				"unit", s.unit.ID, "worker", worker, "from", s.last, "attempt", s.attempts, "lease", c.opts.LeaseTTL)
 		} else {
-			c.logf("dispatch: %s claimed %s (attempt %d)", worker, s.unit.ID, s.attempts)
+			c.log("unit claimed",
+				"unit", s.unit.ID, "worker", worker, "attempt", s.attempts, "lease", c.opts.LeaseTTL)
 		}
 		mc := c.manifest.Cells[s.unit.Cells[0]]
 		return claimResponse{
@@ -293,16 +320,34 @@ func (c *Coordinator) upload(worker, manifestHash string, cell shard.PartialCell
 	s := c.states[si]
 	if s.status == unitDone {
 		c.stale++
-		c.logf("dispatch: stale upload of %s by %s rejected (already completed)", cell.Unit, worker)
+		if c.opts.Tracker.Enabled() {
+			c.opts.Tracker.StaleUpload()
+		}
+		c.log("stale upload rejected", "unit", cell.Unit, "worker", worker)
 		return &uploadError{http.StatusConflict, fmt.Sprintf(
 			"unit %s already completed by another worker", cell.Unit)}
 	}
 	s.status = unitDone
 	s.worker = ""
+	s.uploader = worker
 	s.cell = cell
 	c.doneCount++
-	c.worker(worker).Units++
-	c.logf("dispatch: %s uploaded %s (%.2fs) — %d/%d done", worker, cell.Unit, cell.Seconds, c.doneCount, len(c.states))
+	w := c.worker(worker)
+	w.Units++
+	w.Seconds += cell.Seconds
+	if c.opts.Tracer != nil {
+		c.opts.Tracer.Add(obs.Span{
+			Experiment: cell.Experiment,
+			Cell:       cell.Cell,
+			Unit:       cell.Unit,
+			Worker:     worker,
+			StartMs:    float64(s.claimedAt.Sub(c.started)) / float64(time.Millisecond),
+			DurationMs: cell.Seconds * 1e3,
+		})
+	}
+	c.log("unit uploaded",
+		"unit", cell.Unit, "worker", worker, "seconds", cell.Seconds,
+		"done", c.doneCount, "total", len(c.states))
 	if c.doneCount == len(c.states) {
 		close(c.done)
 	}
@@ -363,7 +408,66 @@ func (c *Coordinator) Timing() experiments.DispatchTiming {
 		t.Workers = append(t.Workers, *w)
 	}
 	sort.Slice(t.Workers, func(a, b int) bool { return t.Workers[a].Worker < t.Workers[b].Worker })
+	for _, s := range c.states {
+		if s.status != unitDone {
+			continue
+		}
+		t.UnitTimings = append(t.UnitTimings, experiments.DispatchUnit{
+			Unit:       s.unit.ID,
+			Experiment: s.cell.Experiment,
+			Cell:       s.cell.Cell,
+			Worker:     s.uploader,
+			Attempts:   s.attempts,
+			Seconds:    s.cell.Seconds,
+		})
+	}
 	return t
+}
+
+// Metrics renders the coordinator's schedule state as Prometheus
+// metrics for the /metrics endpoint. The values are drawn from the
+// same book-keeping as Timing, so a scrape always matches
+// timing.json's dispatch section.
+func (c *Coordinator) Metrics() []obs.Metric {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pending, leased := 0, 0
+	for _, s := range c.states {
+		switch s.status {
+		case unitPending:
+			pending++
+		case unitLeased:
+			leased++
+		}
+	}
+	claims := 0
+	for _, w := range c.workers {
+		claims += w.Claims
+	}
+	out := []obs.Metric{
+		{Name: "perfiso_dispatch_units", Type: "gauge", Help: "Units in the manifest.", Value: float64(len(c.states))},
+		{Name: "perfiso_dispatch_units_pending", Type: "gauge", Help: "Units waiting for a claim.", Value: float64(pending)},
+		{Name: "perfiso_dispatch_units_leased", Type: "gauge", Help: "Units currently leased.", Value: float64(leased)},
+		{Name: "perfiso_dispatch_units_done", Type: "gauge", Help: "Units completed.", Value: float64(c.doneCount)},
+		{Name: "perfiso_dispatch_claims_total", Type: "counter", Help: "Leases granted.", Value: float64(claims)},
+		{Name: "perfiso_dispatch_steals_total", Type: "counter", Help: "Re-claims by a different worker.", Value: float64(c.steals)},
+		{Name: "perfiso_dispatch_lease_expiries_total", Type: "counter", Help: "Leases expired and requeued.", Value: float64(c.requeues)},
+		{Name: "perfiso_dispatch_stale_uploads_total", Type: "counter", Help: "Uploads rejected as already completed.", Value: float64(c.stale)},
+	}
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out = append(out, obs.Metric{
+			Name: "perfiso_dispatch_worker_units", Type: "gauge",
+			Help:   "Units completed per worker.",
+			Labels: map[string]string{"worker": name},
+			Value:  float64(c.workers[name].Units),
+		})
+	}
+	return out
 }
 
 // statusResponse is the human-facing progress snapshot.

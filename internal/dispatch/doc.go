@@ -72,5 +72,17 @@
 // cmd/perfiso-repro exposes the subsystem as the serve and work
 // subcommands plus the run -dispatch N in-process convenience mode;
 // the dispatch section of timing.json records how the schedule played
-// out.
+// out, per unit and per worker.
+//
+// # Observability
+//
+// The coordinator renders its schedule state as Prometheus metrics
+// (Coordinator.Metrics, served on /metrics by the serve subcommand);
+// the values are read from the same book-keeping as Timing, so a
+// scrape always matches timing.json's dispatch section. Scheduling
+// events are logged through Options.Log as structured log/slog
+// records with worker/unit/lease fields, decisions are counted
+// through Options.Tracker (see internal/obs), and Options.Tracer
+// collects one trace span per completed unit for the run-wide
+// trace.jsonl.
 package dispatch

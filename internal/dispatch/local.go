@@ -62,6 +62,7 @@ func RunLocal(reg *experiments.Registry, spec experiments.ScaleSpec, pattern str
 			Name:        fmt.Sprintf("local-%d", i),
 			Runner:      runner,
 			OnUnit:      onUnit,
+			Tracker:     opts.Tracker,
 		}
 		wg.Add(1)
 		go func() {
@@ -91,6 +92,9 @@ func RunLocal(reg *experiments.Registry, spec experiments.ScaleSpec, pattern str
 	p, err := c.Partial()
 	if err != nil {
 		return shard.Partial{}, c.Timing(), errors.Join(append([]error{err}, errs...)...)
+	}
+	if opts.Tracer != nil {
+		p.Spans = opts.Tracer.Spans()
 	}
 	return p, c.Timing(), nil
 }

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"perfiso/internal/obs"
 	"perfiso/internal/shard"
 )
 
@@ -32,6 +33,9 @@ type Worker struct {
 	// worker's goroutine — a callback shared across workers must
 	// synchronize internally.
 	OnUnit func(experiment, cell string, elapsed time.Duration)
+	// Tracker observes upload latencies. Nil means the process-wide
+	// default at first use.
+	Tracker obs.Tracker
 
 	// Units counts accepted uploads; Stale counts rejected ones.
 	Units, Stale int
@@ -235,6 +239,11 @@ func (w *Worker) execute(ctx context.Context, claim claimResponse) error {
 		return runErr
 	}
 
+	trk := w.Tracker
+	if trk == nil {
+		trk = obs.Default()
+	}
+	upStart := time.Now()
 	err := w.postJSON(ctx, "/v1/upload", uploadRequest{
 		Worker:       w.Name,
 		ManifestHash: w.Runner.Manifest.Hash,
@@ -247,6 +256,9 @@ func (w *Worker) execute(ctx context.Context, claim claimResponse) error {
 	}
 	if err != nil {
 		return err
+	}
+	if trk.Enabled() {
+		trk.Upload(time.Since(upStart).Seconds())
 	}
 	w.Units++
 	if w.OnUnit != nil {

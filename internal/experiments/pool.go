@@ -52,7 +52,7 @@ func PoolSize(workers, cells int) int { return poolSize(workers, cells) }
 func RunCells(cells []Cell, workers int) []any {
 	out := make([]any, len(cells))
 	var mu sync.Mutex
-	runCells(cells, workers, func(i int, v any, _ time.Duration) {
+	runCells(cells, workers, func(i, _ int, v any, _ time.Time, _ time.Duration) {
 		mu.Lock()
 		out[i] = v
 		mu.Unlock()
@@ -62,9 +62,11 @@ func RunCells(cells []Cell, workers int) []any {
 
 // runCells is the pool core: workers goroutines pull cell indices from
 // a shared counter and report each completion (concurrently) through
-// done. A panicking cell stops its worker; the first panic is
-// re-raised on the caller after the remaining workers drain.
-func runCells(cells []Cell, workers int, done func(i int, v any, elapsed time.Duration)) {
+// done, along with the executing worker's index and the cell's start
+// time so callers can build traces. A panicking cell stops its worker;
+// the first panic is re-raised on the caller after the remaining
+// workers drain.
+func runCells(cells []Cell, workers int, done func(i, worker int, v any, start time.Time, elapsed time.Duration)) {
 	if len(cells) == 0 {
 		return
 	}
@@ -76,7 +78,7 @@ func runCells(cells []Cell, workers int, done func(i int, v any, elapsed time.Du
 	var panicked any
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
@@ -90,9 +92,9 @@ func runCells(cells []Cell, workers int, done func(i int, v any, elapsed time.Du
 				}
 				start := time.Now()
 				v := cells[i].Run()
-				done(i, v, time.Since(start))
+				done(i, w, v, start, time.Since(start))
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if panicked != nil {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"perfiso/internal/obs"
 	"perfiso/internal/workload"
 )
 
@@ -245,6 +246,8 @@ type RunOptions struct {
 	// OnCell, when set, is called after each cell completes. Calls are
 	// serialized.
 	OnCell func(experiment, cell string, elapsed time.Duration)
+	// Tracer, when set, collects one span per executed cell.
+	Tracer *obs.TraceBuffer
 }
 
 // ExperimentResult is one experiment's assembled outcome.
@@ -282,6 +285,11 @@ type RunResult struct {
 	// SequentialSeconds sums every cell's wall-clock — the sequential
 	// baseline the pool's speedup is measured against.
 	SequentialSeconds float64
+	// CellTimings lists each executed cell's wall-clock cost, in
+	// completion order.
+	CellTimings []CellTiming
+	// Phases breaks the run's wall time into enumerate/execute/assemble.
+	Phases []PhaseTiming
 }
 
 // Value returns the typed result of the named experiment, or nil if it
@@ -309,6 +317,8 @@ func (r *Registry) Run(opts RunOptions) (RunResult, error) {
 		}
 		return RunResult{}, r.NoMatchError(pattern)
 	}
+
+	enumStart := time.Now()
 
 	// Flatten every experiment's cells, deduplicating by Key: the
 	// first cell with a given key is executed, later ones just receive
@@ -353,28 +363,48 @@ func (r *Registry) Run(opts RunOptions) (RunResult, error) {
 	flat, slots = sortedFlat, sortedSlots
 
 	cellSec := make([]float64, len(selected))
+	var timings []CellTiming
 	var mu sync.Mutex
 	start := time.Now()
-	runCells(flat, opts.Workers, func(i int, v any, d time.Duration) {
+	enumerateSec := start.Sub(enumStart).Seconds()
+	runCells(flat, opts.Workers, func(i, worker int, v any, cellStart time.Time, d time.Duration) {
 		mu.Lock()
 		for _, s := range slots[i] {
 			perExp[s.exp][s.cell] = v
 		}
 		// Wall-clock is attributed to the experiment that ran the cell.
+		expName := selected[slots[i][0].exp].Name
 		cellSec[slots[i][0].exp] += d.Seconds()
+		timings = append(timings, CellTiming{
+			Experiment: expName,
+			Cell:       flat[i].Name,
+			Worker:     fmt.Sprintf("pool/%d", worker),
+			Seconds:    d.Seconds(),
+		})
+		if opts.Tracer != nil {
+			opts.Tracer.Add(obs.Span{
+				Experiment: expName,
+				Cell:       flat[i].Name,
+				Worker:     fmt.Sprintf("pool/%d", worker),
+				StartMs:    float64(cellStart.Sub(start)) / 1e6,
+				DurationMs: d.Seconds() * 1e3,
+			})
+		}
 		if opts.OnCell != nil {
-			opts.OnCell(selected[slots[i][0].exp].Name, flat[i].Name, d)
+			opts.OnCell(expName, flat[i].Name, d)
 		}
 		mu.Unlock()
 	})
 	elapsed := time.Since(start)
 
+	assembleStart := time.Now()
 	out := RunResult{
 		Spec:        opts.Spec,
 		Workers:     poolSize(opts.Workers, len(flat)),
 		CellCount:   len(flat),
 		SharedCells: shared,
 		Elapsed:     elapsed,
+		CellTimings: timings,
 	}
 	for ei, e := range selected {
 		value, report := e.Assemble(opts.Spec, cellsPerExp[ei], perExp[ei])
@@ -387,6 +417,11 @@ func (r *Registry) Run(opts RunOptions) (RunResult, error) {
 			CellSeconds: cellSec[ei],
 		})
 		out.SequentialSeconds += cellSec[ei]
+	}
+	out.Phases = []PhaseTiming{
+		{Phase: "enumerate", Seconds: enumerateSec},
+		{Phase: "execute", Seconds: elapsed.Seconds()},
+		{Phase: "assemble", Seconds: time.Since(assembleStart).Seconds()},
 	}
 	return out, nil
 }

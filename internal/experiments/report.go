@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
 	"perfiso/internal/cluster"
+	"perfiso/internal/obs"
 )
 
 // jsonExperiment is the artifact projection of one experiment.
@@ -98,6 +100,24 @@ type DispatchWorker struct {
 	Steals int `json:"steals"`
 	// Requeues counts leases this worker let expire.
 	Requeues int `json:"requeues"`
+	// Seconds is the summed execution wall time of this worker's
+	// accepted units.
+	Seconds float64 `json:"seconds"`
+}
+
+// DispatchUnit is one unit's execution record in a dispatched run, so
+// steal/requeue cost is attributable to specific units.
+type DispatchUnit struct {
+	Unit       string `json:"unit"`
+	Experiment string `json:"experiment"`
+	Cell       string `json:"cell"`
+	// Worker is the worker whose upload was accepted.
+	Worker string `json:"worker"`
+	// Attempts counts lease grants this unit needed (>1 means a lease
+	// expired or the unit was stolen along the way).
+	Attempts int `json:"attempts"`
+	// Seconds is the accepted execution's wall time.
+	Seconds float64 `json:"seconds"`
 }
 
 // DispatchTiming records the dynamic scheduling of a dispatched run:
@@ -117,6 +137,46 @@ type DispatchTiming struct {
 	// already completed the unit.
 	StaleUploads int              `json:"stale_uploads"`
 	Workers      []DispatchWorker `json:"workers"`
+	// UnitTimings lists per-unit execution records in manifest order.
+	UnitTimings []DispatchUnit `json:"unit_timings,omitempty"`
+}
+
+// CellTiming is one cell's wall-clock cost within a run.
+type CellTiming struct {
+	Experiment string `json:"experiment"`
+	Cell       string `json:"cell"`
+	// Worker identifies who executed the cell: a pool goroutine index
+	// for in-process runs, a worker name for dispatched ones.
+	Worker  string  `json:"worker,omitempty"`
+	Seconds float64 `json:"seconds"`
+}
+
+// PhaseTiming is the wall time of one run phase (enumerate, execute,
+// assemble, report).
+type PhaseTiming struct {
+	Phase   string  `json:"phase"`
+	Seconds float64 `json:"seconds"`
+}
+
+// TopCells returns the n most expensive cells, most expensive first
+// (ties broken by experiment/cell for determinism). The input is not
+// modified.
+func TopCells(cells []CellTiming, n int) []CellTiming {
+	out := make([]CellTiming, len(cells))
+	copy(out, cells)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Seconds != out[b].Seconds {
+			return out[a].Seconds > out[b].Seconds
+		}
+		if out[a].Experiment != out[b].Experiment {
+			return out[a].Experiment < out[b].Experiment
+		}
+		return out[a].Cell < out[b].Cell
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
 }
 
 // RunTiming is the non-deterministic side of a run — wall clocks,
@@ -135,6 +195,15 @@ type RunTiming struct {
 	// Dispatch, for dispatched runs, records the work-stealing
 	// schedule: per-worker unit counts and steal/requeue totals.
 	Dispatch *DispatchTiming `json:"dispatch,omitempty"`
+	// Phases breaks the run's wall time down by phase (populated with
+	// -stats).
+	Phases []PhaseTiming `json:"phases,omitempty"`
+	// TopCells lists the most expensive cells by wall time (populated
+	// with -stats).
+	TopCells []CellTiming `json:"top_cells,omitempty"`
+	// Stats is the recording tracker's counter snapshot (populated
+	// with -stats).
+	Stats *obs.Snapshot `json:"stats,omitempty"`
 }
 
 // TimingOf projects a single-process run's timing.

@@ -7,6 +7,7 @@ import (
 	"perfiso/internal/cluster"
 	"perfiso/internal/cpumodel"
 	"perfiso/internal/diskmodel"
+	"perfiso/internal/obs"
 	"perfiso/internal/sim"
 	"perfiso/internal/stats"
 )
@@ -139,6 +140,11 @@ type Scheduler struct {
 	started bool
 	stopped bool
 	gen     int // invalidates the previous incarnation's ticker on restart
+
+	// trk observes placements/preemptions/requeues; track caches
+	// trk.Enabled() so the disabled path is one branch.
+	trk   obs.Tracker
+	track bool
 }
 
 // NewScheduler builds a scheduler over c and subscribes to its machine
@@ -158,6 +164,7 @@ func NewScheduler(c *cluster.Cluster, cfg Config) (*Scheduler, error) {
 		policy: pol,
 		byMach: map[*cluster.IndexMachine]*machineState{},
 	}
+	s.SetTracker(obs.Default())
 	for i, m := range c.MachineList() {
 		ms := &machineState{index: i, m: m}
 		s.machines = append(s.machines, ms)
@@ -174,6 +181,16 @@ func NewScheduler(c *cluster.Cluster, cfg Config) (*Scheduler, error) {
 		}
 	}
 	return s, nil
+}
+
+// SetTracker replaces the scheduler's tracker (nil restores the noop
+// tracker). Trackers are pure observers and never alter placement.
+func (s *Scheduler) SetTracker(t obs.Tracker) {
+	if t == nil {
+		t = obs.NopTracker()
+	}
+	s.trk = t
+	s.track = t.Enabled()
 }
 
 // Config returns the active configuration.
@@ -305,6 +322,9 @@ func (s *Scheduler) shed() {
 			t := ms.running[len(ms.running)-1] // shed newest first
 			s.preempt(t)
 			s.stats.Preemptions++
+			if s.track {
+				s.trk.Preemption()
+			}
 			s.pending = append(s.pending, t)
 		}
 	}
@@ -373,6 +393,9 @@ func (s *Scheduler) start(ms *machineState, t *Task) {
 	t.epoch++
 	epoch := t.epoch
 	ms.running = append(ms.running, t)
+	if s.track {
+		s.trk.Placement()
+	}
 	s.placements = append(s.placements, Placement{
 		At:      s.c.Eng.Now(),
 		Job:     t.Job.Spec.Name,
@@ -501,6 +524,9 @@ func (s *Scheduler) failMachine(ms *machineState) {
 		t.remaining = t.Job.Spec.TaskWork
 		t.opsLeft = t.Job.Spec.TaskOps
 		s.stats.FailureRequeues++
+		if s.track {
+			s.trk.TaskRequeue()
+		}
 		s.pending = append(s.pending, t)
 	}
 }

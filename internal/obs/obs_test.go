@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNopTrackerDisabled(t *testing.T) {
+	trk := NopTracker()
+	if trk.Enabled() {
+		t.Fatal("noop tracker reports enabled")
+	}
+	// Every method must be callable and side-effect free.
+	trk.EventPushed(3)
+	trk.EventPopped()
+	trk.SimAdvanced(10)
+	trk.BufferGrow(2)
+	trk.BufferShrink(1)
+	trk.HoldoffDeferred()
+	trk.Eviction()
+	trk.Placement()
+	trk.Preemption()
+	trk.TaskRequeue()
+	trk.Claim()
+	trk.Steal()
+	trk.LeaseExpired()
+	trk.StaleUpload()
+	trk.Upload(0.5)
+}
+
+func TestDefaultTracker(t *testing.T) {
+	if Default().Enabled() {
+		t.Fatal("default tracker should start as noop")
+	}
+	rec := NewRecording()
+	SetDefault(rec)
+	defer SetDefault(nil)
+	if !Default().Enabled() {
+		t.Fatal("recording default not installed")
+	}
+	Default().Claim()
+	if got := rec.Snapshot().DispatchClaims; got != 1 {
+		t.Fatalf("claims = %d, want 1", got)
+	}
+	SetDefault(nil)
+	if Default().Enabled() {
+		t.Fatal("SetDefault(nil) should restore the noop tracker")
+	}
+}
+
+func TestRecordingCounters(t *testing.T) {
+	rec := NewRecording()
+	if !rec.Enabled() {
+		t.Fatal("recording tracker reports disabled")
+	}
+	rec.EventPushed(2)
+	rec.EventPushed(7)
+	rec.EventPushed(4)
+	rec.EventPopped()
+	rec.SimAdvanced(1_500_000_000)
+	rec.BufferGrow(3)
+	rec.BufferShrink(2)
+	rec.BufferShrink(1)
+	rec.HoldoffDeferred()
+	rec.Eviction()
+	rec.Placement()
+	rec.Preemption()
+	rec.TaskRequeue()
+	rec.Claim()
+	rec.Steal()
+	rec.LeaseExpired()
+	rec.StaleUpload()
+	rec.Upload(0.25)
+	rec.Upload(0.75)
+
+	s := rec.Snapshot()
+	if s.SimEventsPushed != 3 || s.SimEventsPopped != 1 {
+		t.Fatalf("events pushed/popped = %d/%d", s.SimEventsPushed, s.SimEventsPopped)
+	}
+	if s.SimMaxHeapDepth != 7 {
+		t.Fatalf("max heap depth = %d, want 7", s.SimMaxHeapDepth)
+	}
+	if s.SimSeconds != 1.5 {
+		t.Fatalf("sim seconds = %v, want 1.5", s.SimSeconds)
+	}
+	if s.CoreBufferGrows != 1 || s.CoreBufferShrinks != 2 {
+		t.Fatalf("grows/shrinks = %d/%d", s.CoreBufferGrows, s.CoreBufferShrinks)
+	}
+	if s.CoreHoldoffDeferrals != 1 || s.CoreEvictions != 1 {
+		t.Fatalf("holdoff/evictions = %d/%d", s.CoreHoldoffDeferrals, s.CoreEvictions)
+	}
+	if s.HarvestPlacements != 1 || s.HarvestPreemptions != 1 || s.HarvestRequeues != 1 {
+		t.Fatalf("harvest counters = %d/%d/%d", s.HarvestPlacements, s.HarvestPreemptions, s.HarvestRequeues)
+	}
+	if s.DispatchClaims != 1 || s.DispatchSteals != 1 || s.DispatchLeaseExpiries != 1 || s.DispatchStaleUploads != 1 {
+		t.Fatalf("dispatch counters = %d/%d/%d/%d", s.DispatchClaims, s.DispatchSteals, s.DispatchLeaseExpiries, s.DispatchStaleUploads)
+	}
+	if s.DispatchUploads != 2 {
+		t.Fatalf("uploads = %d, want 2", s.DispatchUploads)
+	}
+	if s.DispatchUploadMeanSeconds != 0.5 {
+		t.Fatalf("upload mean = %v, want 0.5", s.DispatchUploadMeanSeconds)
+	}
+	if s.DispatchUploadMaxSeconds != 0.75 {
+		t.Fatalf("upload max = %v, want 0.75", s.DispatchUploadMaxSeconds)
+	}
+}
+
+func TestRecordingConcurrent(t *testing.T) {
+	rec := NewRecording()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				rec.EventPushed(g*1000 + i)
+				rec.EventPopped()
+				rec.Claim()
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := rec.Snapshot()
+	if s.SimEventsPushed != 8000 || s.SimEventsPopped != 8000 || s.DispatchClaims != 8000 {
+		t.Fatalf("concurrent counts = %d/%d/%d, want 8000 each", s.SimEventsPushed, s.SimEventsPopped, s.DispatchClaims)
+	}
+	if s.SimMaxHeapDepth != 7999 {
+		t.Fatalf("max heap depth = %d, want 7999", s.SimMaxHeapDepth)
+	}
+}
+
+func TestTraceBufferRoundTrip(t *testing.T) {
+	buf := NewTraceBuffer()
+	buf.Add(Span{Experiment: "fig10", Cell: "b", StartMs: 5, DurationMs: 2})
+	buf.Add(Span{Experiment: "fig10", Cell: "a", StartMs: 5, DurationMs: 1})
+	buf.Add(Span{Experiment: "headline", Cell: "x", Unit: "u3", Worker: "w1", StartMs: 1, DurationMs: 4})
+	if buf.Len() != 3 {
+		t.Fatalf("len = %d, want 3", buf.Len())
+	}
+
+	spans := buf.Spans()
+	if spans[0].Cell != "x" || spans[1].Cell != "a" || spans[2].Cell != "b" {
+		t.Fatalf("spans not in deterministic order: %+v", spans)
+	}
+
+	var out bytes.Buffer
+	if err := WriteJSONL(&out, spans); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "\n"); got != 3 {
+		t.Fatalf("jsonl lines = %d, want 3", got)
+	}
+	back, err := ReadTrace(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[0] != spans[0] || back[2] != spans[2] {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestReadTraceBadLine(t *testing.T) {
+	_, err := ReadTrace(strings.NewReader("{\"experiment\":\"a\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 parse error, got %v", err)
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	var out bytes.Buffer
+	err := WriteProm(&out, []Metric{
+		{Name: "perfiso_claims_total", Type: "counter", Help: "Claims.", Value: 3},
+		{Name: "perfiso_worker_units", Type: "gauge", Help: "Units per worker.",
+			Labels: map[string]string{"worker": "w1"}, Value: 2},
+		{Name: "perfiso_worker_units", Type: "gauge", Help: "Units per worker.",
+			Labels: map[string]string{"worker": "w2"}, Value: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# HELP perfiso_claims_total Claims.",
+		"# TYPE perfiso_claims_total counter",
+		"perfiso_claims_total 3",
+		"perfiso_worker_units{worker=\"w1\"} 2",
+		"perfiso_worker_units{worker=\"w2\"} 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+	// One shared header for the two labeled series.
+	if got := strings.Count(text, "# TYPE perfiso_worker_units"); got != 1 {
+		t.Fatalf("duplicate TYPE headers: %d", got)
+	}
+}
+
+func TestSnapshotMetricsMatch(t *testing.T) {
+	rec := NewRecording()
+	rec.Claim()
+	rec.Claim()
+	rec.Steal()
+	s := rec.Snapshot()
+	s.RNGDraws = 42
+	found := map[string]float64{}
+	for _, m := range s.Metrics() {
+		found[m.Name] = m.Value
+	}
+	if found["perfiso_rng_draws_total"] != 42 {
+		t.Fatalf("rng draws metric = %v", found["perfiso_rng_draws_total"])
+	}
+	if found["perfiso_sim_events_pushed_total"] != 0 {
+		t.Fatalf("events pushed metric = %v", found["perfiso_sim_events_pushed_total"])
+	}
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// Metric is one Prometheus time series in text exposition format.
+// Labels are optional "name=value" pairs rendered in sorted order.
+type Metric struct {
+	Name   string
+	Type   string // "counter" or "gauge"
+	Help   string
+	Labels map[string]string
+	Value  float64
+}
+
+// WriteProm renders metrics in the Prometheus text exposition format
+// (version 0.0.4). Metrics sharing a name emit one HELP/TYPE header.
+func WriteProm(w io.Writer, metrics []Metric) error {
+	bw := bufio.NewWriter(w)
+	lastName := ""
+	for _, m := range metrics {
+		if m.Name != lastName {
+			if m.Help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.Name, m.Help)
+			}
+			if m.Type != "" {
+				fmt.Fprintf(bw, "# TYPE %s %s\n", m.Name, m.Type)
+			}
+			lastName = m.Name
+		}
+		if len(m.Labels) == 0 {
+			fmt.Fprintf(bw, "%s %s\n", m.Name, formatValue(m.Value))
+			continue
+		}
+		keys := make([]string, 0, len(m.Labels))
+		for k := range m.Labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(bw, "%s{", m.Name)
+		for i, k := range keys {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			fmt.Fprintf(bw, "%s=%q", k, m.Labels[k])
+		}
+		fmt.Fprintf(bw, "} %s\n", formatValue(m.Value))
+	}
+	return bw.Flush()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PromHandler serves the metrics returned by fn on each scrape.
+func PromHandler(fn func() []Metric) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, fn())
+	})
+}

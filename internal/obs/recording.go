@@ -1,0 +1,180 @@
+package obs
+
+import "sync/atomic"
+
+// Recording is the Tracker implementation that actually counts: every
+// method is a lock-free atomic update, safe for every cell goroutine
+// and dispatch worker in the process to share one instance.
+type Recording struct {
+	eventsPushed atomic.Uint64
+	eventsPopped atomic.Uint64
+	maxHeapDepth atomic.Int64
+	simNs        atomic.Int64
+
+	bufferGrows      atomic.Uint64
+	bufferShrinks    atomic.Uint64
+	holdoffDeferrals atomic.Uint64
+	evictions        atomic.Uint64
+
+	placements   atomic.Uint64
+	preemptions  atomic.Uint64
+	taskRequeues atomic.Uint64
+
+	claims        atomic.Uint64
+	steals        atomic.Uint64
+	leaseExpiries atomic.Uint64
+	staleUploads  atomic.Uint64
+	uploads       atomic.Uint64
+	uploadNs      atomic.Int64
+	uploadMaxNs   atomic.Int64
+}
+
+// NewRecording returns a zeroed recording tracker.
+func NewRecording() *Recording { return &Recording{} }
+
+// Enabled implements Tracker.
+func (r *Recording) Enabled() bool { return true }
+
+// EventPushed implements Tracker.
+func (r *Recording) EventPushed(depth int) {
+	r.eventsPushed.Add(1)
+	d := int64(depth)
+	for {
+		cur := r.maxHeapDepth.Load()
+		if d <= cur || r.maxHeapDepth.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// EventPopped implements Tracker.
+func (r *Recording) EventPopped() { r.eventsPopped.Add(1) }
+
+// SimAdvanced implements Tracker.
+func (r *Recording) SimAdvanced(ns int64) { r.simNs.Add(ns) }
+
+// BufferGrow implements Tracker.
+func (r *Recording) BufferGrow(int) { r.bufferGrows.Add(1) }
+
+// BufferShrink implements Tracker.
+func (r *Recording) BufferShrink(int) { r.bufferShrinks.Add(1) }
+
+// HoldoffDeferred implements Tracker.
+func (r *Recording) HoldoffDeferred() { r.holdoffDeferrals.Add(1) }
+
+// Eviction implements Tracker.
+func (r *Recording) Eviction() { r.evictions.Add(1) }
+
+// Placement implements Tracker.
+func (r *Recording) Placement() { r.placements.Add(1) }
+
+// Preemption implements Tracker.
+func (r *Recording) Preemption() { r.preemptions.Add(1) }
+
+// TaskRequeue implements Tracker.
+func (r *Recording) TaskRequeue() { r.taskRequeues.Add(1) }
+
+// Claim implements Tracker.
+func (r *Recording) Claim() { r.claims.Add(1) }
+
+// Steal implements Tracker.
+func (r *Recording) Steal() { r.steals.Add(1) }
+
+// LeaseExpired implements Tracker.
+func (r *Recording) LeaseExpired() { r.leaseExpiries.Add(1) }
+
+// StaleUpload implements Tracker.
+func (r *Recording) StaleUpload() { r.staleUploads.Add(1) }
+
+// Upload implements Tracker.
+func (r *Recording) Upload(seconds float64) {
+	r.uploads.Add(1)
+	ns := int64(seconds * 1e9)
+	r.uploadNs.Add(ns)
+	for {
+		cur := r.uploadMaxNs.Load()
+		if ns <= cur || r.uploadMaxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+var _ Tracker = (*Recording)(nil)
+
+// Snapshot is the JSON projection of a recording tracker, folded into
+// timing.json's "stats" section by `perfiso-repro run -stats`.
+type Snapshot struct {
+	SimEventsPushed uint64  `json:"sim_events_pushed"`
+	SimEventsPopped uint64  `json:"sim_events_popped"`
+	SimMaxHeapDepth int64   `json:"sim_max_heap_depth"`
+	SimSeconds      float64 `json:"sim_seconds"`
+	// RNGDraws is filled by the caller from sim.RNGDraws (RNG draw
+	// accounting is gated inside the sim package, not tracked per draw
+	// through the interface — see sim.SetRNGAccounting).
+	RNGDraws uint64 `json:"rng_draws,omitempty"`
+
+	CoreBufferGrows      uint64 `json:"core_buffer_grows"`
+	CoreBufferShrinks    uint64 `json:"core_buffer_shrinks"`
+	CoreHoldoffDeferrals uint64 `json:"core_holdoff_deferrals"`
+	CoreEvictions        uint64 `json:"core_evictions"`
+
+	HarvestPlacements  uint64 `json:"harvest_placements"`
+	HarvestPreemptions uint64 `json:"harvest_preemptions"`
+	HarvestRequeues    uint64 `json:"harvest_requeues"`
+
+	DispatchClaims            uint64  `json:"dispatch_claims"`
+	DispatchSteals            uint64  `json:"dispatch_steals"`
+	DispatchLeaseExpiries     uint64  `json:"dispatch_lease_expiries"`
+	DispatchStaleUploads      uint64  `json:"dispatch_stale_uploads"`
+	DispatchUploads           uint64  `json:"dispatch_uploads"`
+	DispatchUploadMeanSeconds float64 `json:"dispatch_upload_mean_seconds"`
+	DispatchUploadMaxSeconds  float64 `json:"dispatch_upload_max_seconds"`
+}
+
+// Snapshot reads the counters. It is safe to call while tracking
+// continues; the values are each individually consistent.
+func (r *Recording) Snapshot() Snapshot {
+	s := Snapshot{
+		SimEventsPushed:          r.eventsPushed.Load(),
+		SimEventsPopped:          r.eventsPopped.Load(),
+		SimMaxHeapDepth:          r.maxHeapDepth.Load(),
+		SimSeconds:               float64(r.simNs.Load()) / 1e9,
+		CoreBufferGrows:          r.bufferGrows.Load(),
+		CoreBufferShrinks:        r.bufferShrinks.Load(),
+		CoreHoldoffDeferrals:     r.holdoffDeferrals.Load(),
+		CoreEvictions:            r.evictions.Load(),
+		HarvestPlacements:        r.placements.Load(),
+		HarvestPreemptions:       r.preemptions.Load(),
+		HarvestRequeues:          r.taskRequeues.Load(),
+		DispatchClaims:           r.claims.Load(),
+		DispatchSteals:           r.steals.Load(),
+		DispatchLeaseExpiries:    r.leaseExpiries.Load(),
+		DispatchStaleUploads:     r.staleUploads.Load(),
+		DispatchUploads:          r.uploads.Load(),
+		DispatchUploadMaxSeconds: float64(r.uploadMaxNs.Load()) / 1e9,
+	}
+	if s.DispatchUploads > 0 {
+		s.DispatchUploadMeanSeconds = float64(r.uploadNs.Load()) / 1e9 / float64(s.DispatchUploads)
+	}
+	return s
+}
+
+// Metrics renders the snapshot as Prometheus metrics.
+func (s Snapshot) Metrics() []Metric {
+	return []Metric{
+		{Name: "perfiso_sim_events_pushed_total", Type: "counter", Help: "Events scheduled on sim engines.", Value: float64(s.SimEventsPushed)},
+		{Name: "perfiso_sim_events_popped_total", Type: "counter", Help: "Events dispatched by sim engines.", Value: float64(s.SimEventsPopped)},
+		{Name: "perfiso_sim_heap_depth_max", Type: "gauge", Help: "Deepest event heap observed.", Value: float64(s.SimMaxHeapDepth)},
+		{Name: "perfiso_sim_time_seconds_total", Type: "counter", Help: "Virtual seconds advanced.", Value: s.SimSeconds},
+		{Name: "perfiso_rng_draws_total", Type: "counter", Help: "RNG draws (when sim RNG accounting is on).", Value: float64(s.RNGDraws)},
+		{Name: "perfiso_core_buffer_grows_total", Type: "counter", Help: "Blind-isolation grow decisions.", Value: float64(s.CoreBufferGrows)},
+		{Name: "perfiso_core_buffer_shrinks_total", Type: "counter", Help: "Blind-isolation shrink decisions.", Value: float64(s.CoreBufferShrinks)},
+		{Name: "perfiso_core_holdoff_deferrals_total", Type: "counter", Help: "Grow attempts deferred by the holdoff.", Value: float64(s.CoreHoldoffDeferrals)},
+		{Name: "perfiso_core_evictions_total", Type: "counter", Help: "Memory-guard job kills.", Value: float64(s.CoreEvictions)},
+		{Name: "perfiso_harvest_placements_total", Type: "counter", Help: "Harvest tasks placed.", Value: float64(s.HarvestPlacements)},
+		{Name: "perfiso_harvest_preemptions_total", Type: "counter", Help: "Harvest tasks preempted on buffer squeeze.", Value: float64(s.HarvestPreemptions)},
+		{Name: "perfiso_harvest_requeues_total", Type: "counter", Help: "Harvest tasks requeued after machine failure.", Value: float64(s.HarvestRequeues)},
+		{Name: "perfiso_dispatch_upload_seconds_mean", Type: "gauge", Help: "Mean worker upload latency.", Value: s.DispatchUploadMeanSeconds},
+		{Name: "perfiso_dispatch_upload_seconds_max", Type: "gauge", Help: "Max worker upload latency.", Value: s.DispatchUploadMaxSeconds},
+	}
+}

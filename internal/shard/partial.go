@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"perfiso/internal/experiments"
+	"perfiso/internal/obs"
 )
 
 // PartialVersion versions the partial artifact encoding.
@@ -41,6 +42,9 @@ type Partial struct {
 	Workers        int           `json:"workers"`
 	ElapsedSeconds float64       `json:"elapsed_seconds"`
 	Cells          []PartialCell `json:"cells"`
+	// Spans, when the shard ran with tracing, carries one trace span
+	// per executed unit so a merge can reassemble the run-wide trace.
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 // RunShardOptions parameterizes one shard execution.
@@ -56,6 +60,8 @@ type RunShardOptions struct {
 	// OnCell, when set, is called after each cell completes. Calls are
 	// serialized.
 	OnCell func(experiment, cell string, elapsed time.Duration)
+	// Trace embeds one span per executed unit into the partial.
+	Trace bool
 }
 
 // RunShard builds the manifest, plans it, and executes this shard's
@@ -76,10 +82,19 @@ func RunShard(reg *experiments.Registry, opts RunShardOptions) (Partial, error) 
 		return Partial{}, err
 	}
 	mine := plan.Shards[opts.Shard].Units
+	var tracer *obs.TraceBuffer
+	if opts.Trace {
+		tracer = obs.NewTraceBuffer()
+	}
 	start := time.Now()
-	cells, err := r.RunUnits(mine, opts.Workers, opts.OnCell)
+	cells, err := r.RunUnits(mine, opts.Workers, opts.OnCell, tracer,
+		fmt.Sprintf("shard-%d/%d", opts.Shard, opts.Shards))
 	if err != nil {
 		return Partial{}, err
+	}
+	var spans []obs.Span
+	if tracer != nil {
+		spans = tracer.Spans()
 	}
 	return Partial{
 		Version:        PartialVersion,
@@ -91,6 +106,7 @@ func RunShard(reg *experiments.Registry, opts RunShardOptions) (Partial, error) 
 		Workers:        experiments.PoolSize(opts.Workers, len(mine)),
 		ElapsedSeconds: time.Since(start).Seconds(),
 		Cells:          cells,
+		Spans:          spans,
 	}, nil
 }
 

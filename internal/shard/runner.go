@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"perfiso/internal/experiments"
+	"perfiso/internal/obs"
 )
 
 // UnitRunner executes individual manifest units. It is the shared
@@ -82,8 +83,9 @@ func (r *UnitRunner) RunUnit(id string) (PartialCell, error) {
 
 // RunUnits executes ids on a pool of workers goroutines, expensive
 // units first, and returns their cells in ids order. onCell, when set,
-// is called (serialized) after each unit completes.
-func (r *UnitRunner) RunUnits(ids []string, workers int, onCell func(experiment, cell string, elapsed time.Duration)) ([]PartialCell, error) {
+// is called (serialized) after each unit completes. tracer, when set,
+// receives one span per unit labeled with worker.
+func (r *UnitRunner) RunUnits(ids []string, workers int, onCell func(experiment, cell string, elapsed time.Duration), tracer *obs.TraceBuffer, worker string) ([]PartialCell, error) {
 	if len(ids) == 0 {
 		return nil, nil
 	}
@@ -92,6 +94,7 @@ func (r *UnitRunner) RunUnits(ids []string, workers int, onCell func(experiment,
 		err error
 	}
 	var mu sync.Mutex
+	base := time.Now()
 	wrapped := make([]experiments.Cell, len(ids))
 	for i, id := range ids {
 		id := id
@@ -102,6 +105,16 @@ func (r *UnitRunner) RunUnits(ids []string, workers int, onCell func(experiment,
 		wrapped[i] = experiments.Cell{Name: id, Cost: u.Cost, Run: func() any {
 			start := time.Now()
 			pc, err := r.RunUnit(id)
+			if err == nil && tracer != nil {
+				tracer.Add(obs.Span{
+					Experiment: pc.Experiment,
+					Cell:       pc.Cell,
+					Unit:       id,
+					Worker:     worker,
+					StartMs:    float64(start.Sub(base)) / 1e6,
+					DurationMs: time.Since(start).Seconds() * 1e3,
+				})
+			}
 			if err == nil && onCell != nil {
 				mu.Lock()
 				onCell(pc.Experiment, pc.Cell, time.Since(start))

@@ -3,6 +3,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"perfiso/internal/obs"
 )
 
 // Time is a point in virtual time, in nanoseconds since simulation start.
@@ -76,13 +78,31 @@ type Engine struct {
 	stopped bool
 	// executed counts dispatched events, exposed for tests and stats.
 	executed uint64
+	// trk observes pushes/pops/time advances; track caches trk.Enabled()
+	// so the disabled path costs one branch per event, not an interface
+	// call.
+	trk   obs.Tracker
+	track bool
 }
 
-// NewEngine returns an empty engine at time zero.
+// NewEngine returns an empty engine at time zero, observing the
+// process-wide obs tracker.
 func NewEngine() *Engine {
 	e := &Engine{}
 	heap.Init(&e.events)
+	e.SetTracker(obs.Default())
 	return e
+}
+
+// SetTracker replaces the engine's tracker (nil restores the noop
+// tracker). Trackers are pure observers; swapping them never changes
+// simulation results.
+func (e *Engine) SetTracker(t obs.Tracker) {
+	if t == nil {
+		t = obs.NopTracker()
+	}
+	e.trk = t
+	e.track = t.Enabled()
 }
 
 // Now returns the current virtual time.
@@ -103,6 +123,9 @@ func (e *Engine) At(t Time, fn func()) {
 	}
 	e.seq++
 	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	if e.track {
+		e.trk.EventPushed(len(e.events))
+	}
 }
 
 // After schedules fn to run d from now. Negative d panics via At.
@@ -116,6 +139,9 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.events).(event)
 	e.now = ev.at
 	e.executed++
+	if e.track {
+		e.trk.EventPopped()
+	}
 	ev.fn()
 	return true
 }
@@ -125,6 +151,7 @@ func (e *Engine) Step() bool {
 // of events dispatched.
 func (e *Engine) Run(until Time) uint64 {
 	start := e.executed
+	from := e.now
 	for len(e.events) > 0 && !e.stopped {
 		if e.events[0].at > until {
 			break
@@ -135,17 +162,24 @@ func (e *Engine) Run(until Time) uint64 {
 		e.now = until
 	}
 	e.stopped = false
+	if e.track {
+		e.trk.SimAdvanced(int64(e.now.Sub(from)))
+	}
 	return e.executed - start
 }
 
 // RunAll dispatches every remaining event.
 func (e *Engine) RunAll() uint64 {
 	start := e.executed
+	from := e.now
 	for e.Step() {
 		if e.stopped {
 			e.stopped = false
 			break
 		}
+	}
+	if e.track {
+		e.trk.SimAdvanced(int64(e.now.Sub(from)))
 	}
 	return e.executed - start
 }

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+
+	"perfiso/internal/obs"
+)
+
+func TestEngineTracker(t *testing.T) {
+	rec := obs.NewRecording()
+	e := NewEngine()
+	e.SetTracker(rec)
+	e.At(Time(10*Second), func() {})
+	e.At(Time(5*Second), func() {})
+	e.After(20*Second, func() {})
+	e.RunAll()
+
+	s := rec.Snapshot()
+	if s.SimEventsPushed != 3 || s.SimEventsPopped != 3 {
+		t.Fatalf("pushed/popped = %d/%d, want 3/3", s.SimEventsPushed, s.SimEventsPopped)
+	}
+	if s.SimMaxHeapDepth < 2 {
+		t.Fatalf("max heap depth = %d, want >= 2", s.SimMaxHeapDepth)
+	}
+	if s.SimSeconds != 20 {
+		t.Fatalf("sim seconds = %v, want 20", s.SimSeconds)
+	}
+}
+
+func TestEngineTrackerRun(t *testing.T) {
+	rec := obs.NewRecording()
+	e := NewEngine()
+	e.SetTracker(rec)
+	e.At(Time(2*Second), func() {})
+	e.Run(Time(30 * Second))
+	if got := rec.Snapshot().SimSeconds; got != 30 {
+		t.Fatalf("sim seconds = %v, want 30 (Run advances to until)", got)
+	}
+	// Disabling the tracker freezes the counters.
+	e.SetTracker(nil)
+	e.After(Second, func() {})
+	e.RunAll()
+	if got := rec.Snapshot().SimEventsPushed; got != 1 {
+		t.Fatalf("pushed = %d, want 1 after tracker removed", got)
+	}
+}
+
+func TestDeterminismWithTracking(t *testing.T) {
+	run := func(track bool) []uint64 {
+		if track {
+			SetRNGAccounting(true)
+			defer SetRNGAccounting(false)
+		}
+		e := NewEngine()
+		if track {
+			e.SetTracker(obs.NewRecording())
+		}
+		rng := NewRNG(42)
+		var out []uint64
+		e.Ticker(Second, func() bool {
+			out = append(out, rng.Uint64())
+			return len(out) < 50
+		})
+		e.RunAll()
+		return out
+	}
+	plain := run(false)
+	tracked := run(true)
+	for i := range plain {
+		if plain[i] != tracked[i] {
+			t.Fatalf("draw %d differs with tracking: %d vs %d", i, plain[i], tracked[i])
+		}
+	}
+}
+
+func TestRNGAccounting(t *testing.T) {
+	ResetRNGDraws()
+	rng := NewRNG(1)
+	rng.Uint64()
+	if RNGDraws() != 0 {
+		t.Fatal("draws counted while accounting off")
+	}
+	SetRNGAccounting(true)
+	defer SetRNGAccounting(false)
+	rng.Uint64()
+	rng.Float64()
+	if got := RNGDraws(); got != 2 {
+		t.Fatalf("draws = %d, want 2", got)
+	}
+	ResetRNGDraws()
+	if RNGDraws() != 0 {
+		t.Fatal("reset did not zero the counter")
+	}
+}

@@ -1,6 +1,29 @@
 package sim
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
+
+// RNG draw accounting is package-gated rather than routed through an
+// obs.Tracker: Uint64 is a handful of arithmetic ops, so even a noop
+// interface call would roughly double its cost. When enabled, every
+// draw pays one atomic load plus one atomic add.
+var (
+	rngAccounting atomic.Bool
+	rngDraws      atomic.Uint64
+)
+
+// SetRNGAccounting turns global RNG draw counting on or off.
+// Accounting is an observer only; it never changes the sequence any
+// generator produces.
+func SetRNGAccounting(on bool) { rngAccounting.Store(on) }
+
+// RNGDraws reports the draws counted since the last reset.
+func RNGDraws() uint64 { return rngDraws.Load() }
+
+// ResetRNGDraws zeroes the draw counter.
+func ResetRNGDraws() { rngDraws.Store(0) }
 
 // RNG is a small, fast, deterministic pseudo-random generator
 // (splitmix64). It is not safe for concurrent use; each model component
@@ -22,6 +45,9 @@ func (r *RNG) Split(label uint64) *RNG {
 
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
+	if rngAccounting.Load() {
+		rngDraws.Add(1)
+	}
 	r.state += 0x9e3779b97f4a7c15
 	z := r.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9

@@ -20,31 +20,50 @@ type Histogram struct {
 	sum    float64
 	min    float64
 	max    float64
+	// growth is the per-bucket multiplicative step; it fixes the bucket
+	// layout, so only histograms with equal growth can merge.
+	growth    float64
+	logGrowth float64
 }
 
-// bucketGrowth is the per-bucket multiplicative step: 1% relative error.
+// bucketGrowth is the default per-bucket multiplicative step: 1%
+// relative error.
 const bucketGrowth = 1.01
 
-var logGrowth = math.Log(bucketGrowth)
-
-// NewHistogram returns an empty histogram.
+// NewHistogram returns an empty histogram with the default ~1%
+// relative precision.
 func NewHistogram() *Histogram {
-	return &Histogram{min: math.Inf(1), max: math.Inf(-1)}
+	return NewHistogramGrowth(bucketGrowth)
 }
 
-func bucketOf(v float64) int {
+// NewHistogramGrowth returns an empty histogram whose buckets step by
+// the given multiplicative factor (relative precision growth-1).
+// Coarser layouts trade precision for memory. Growth must exceed 1.
+func NewHistogramGrowth(growth float64) *Histogram {
+	if !(growth > 1) {
+		panic(fmt.Sprintf("stats: histogram growth %v, must be > 1", growth))
+	}
+	return &Histogram{
+		min:       math.Inf(1),
+		max:       math.Inf(-1),
+		growth:    growth,
+		logGrowth: math.Log(growth),
+	}
+}
+
+func (h *Histogram) bucketOf(v float64) int {
 	if v < 1 {
 		return 0
 	}
-	return 1 + int(math.Log(v)/logGrowth)
+	return 1 + int(math.Log(v)/h.logGrowth)
 }
 
-func bucketValue(b int) float64 {
+func (h *Histogram) bucketValue(b int) float64 {
 	if b == 0 {
 		return 0
 	}
 	// Midpoint of the bucket in log space.
-	return math.Exp((float64(b) - 0.5) * logGrowth)
+	return math.Exp((float64(b) - 0.5) * h.logGrowth)
 }
 
 // Add records one observation. Negative values are clamped to zero;
@@ -53,7 +72,7 @@ func (h *Histogram) Add(v float64) {
 	if v < 0 {
 		v = 0
 	}
-	b := bucketOf(v)
+	b := h.bucketOf(v)
 	if b >= len(h.counts) {
 		grown := make([]uint64, b+16)
 		copy(grown, h.counts)
@@ -119,7 +138,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 	for b, c := range h.counts {
 		cum += c
 		if cum > rank {
-			v := bucketValue(b)
+			v := h.bucketValue(b)
 			// Clamp to the exact observed extremes so tiny sample
 			// sets report sane numbers.
 			if v < h.min {
@@ -144,10 +163,15 @@ func (h *Histogram) QuantileDuration(q float64) sim.Duration {
 	return sim.Duration(h.Quantile(q))
 }
 
-// Merge adds all of other's observations into h.
-func (h *Histogram) Merge(other *Histogram) {
+// Merge adds all of other's observations into h. It errors when the
+// bucket layouts differ — adding counts bucket-by-bucket across
+// layouts would silently misplace every sample.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other.growth != h.growth {
+		return fmt.Errorf("stats: cannot merge histograms with bucket growth %v into %v", other.growth, h.growth)
+	}
 	if other.total == 0 {
-		return
+		return nil
 	}
 	if len(other.counts) > len(h.counts) {
 		grown := make([]uint64, len(other.counts))
@@ -165,6 +189,7 @@ func (h *Histogram) Merge(other *Histogram) {
 	if other.max > h.max {
 		h.max = other.max
 	}
+	return nil
 }
 
 // Reset discards all observations.

@@ -100,7 +100,9 @@ func TestHistogramMerge(t *testing.T) {
 		}
 		both.Add(v)
 	}
-	a.Merge(b)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
 	if a.Count() != both.Count() {
 		t.Fatalf("merged count = %d, want %d", a.Count(), both.Count())
 	}
@@ -166,5 +168,94 @@ func TestExactPercentile(t *testing.T) {
 	// Input must not be reordered.
 	if s[0] != 5 || s[4] != 3 {
 		t.Fatal("ExactPercentile mutated its input")
+	}
+}
+
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty mean/min/max = %v/%v/%v, want zeros",
+			h.Mean(), h.Min(), h.Max())
+	}
+	s := h.Summary()
+	if s.Count != 0 || s.P99Ms != 0 || math.IsNaN(s.MeanMs) {
+		t.Fatalf("empty summary = %+v, want zeros", s)
+	}
+}
+
+func TestHistogramSingleSampleMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	b.Add(42)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 1 {
+		t.Fatalf("count = %d, want 1", a.Count())
+	}
+	if a.Min() != 42 || a.Max() != 42 {
+		t.Fatalf("extremes = %v/%v, want 42/42", a.Min(), a.Max())
+	}
+	// Every quantile of one sample is that sample (clamped to the exact
+	// extremes, so no bucketing error).
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := a.Quantile(q); got != 42 {
+			t.Fatalf("Quantile(%v) = %v, want 42", q, got)
+		}
+	}
+	// Merging an empty histogram back is a no-op.
+	if err := a.Merge(NewHistogram()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 1 {
+		t.Fatalf("count after empty merge = %d, want 1", a.Count())
+	}
+}
+
+func TestHistogramMergeLayoutMismatch(t *testing.T) {
+	fine, coarse := NewHistogram(), NewHistogramGrowth(1.5)
+	fine.Add(10)
+	coarse.Add(10)
+	if err := fine.Merge(coarse); err == nil {
+		t.Fatal("merging mismatched bucket layouts did not error")
+	}
+	if err := coarse.Merge(fine); err == nil {
+		t.Fatal("merging mismatched bucket layouts did not error (reverse)")
+	}
+	// The failed merge must not have corrupted either side.
+	if fine.Count() != 1 || coarse.Count() != 1 {
+		t.Fatalf("counts after rejected merge = %d/%d, want 1/1",
+			fine.Count(), coarse.Count())
+	}
+	// An empty histogram with a mismatched layout still errors — the
+	// layout check is about intent, not contents.
+	if err := fine.Merge(NewHistogramGrowth(2)); err == nil {
+		t.Fatal("merging empty mismatched histogram did not error")
+	}
+}
+
+func TestHistogramGrowthValidation(t *testing.T) {
+	for _, g := range []float64{0, 1, 0.5, -1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHistogramGrowth(%v) did not panic", g)
+				}
+			}()
+			NewHistogramGrowth(g)
+		}()
+	}
+	// A coarse layout still buckets and queries sanely.
+	h := NewHistogramGrowth(2)
+	for i := 1; i <= 1024; i++ {
+		h.Add(float64(i))
+	}
+	p50 := h.P50()
+	if p50 < 256 || p50 > 1024 {
+		t.Fatalf("coarse P50 = %v, out of sane range", p50)
 	}
 }
