@@ -467,17 +467,32 @@ func (c *Cluster) Run(queries, warmup int, rate float64, seed uint64) Result {
 	}
 	rng := sim.NewRNG(seed)
 	meanGap := sim.Duration(float64(sim.Second) / rate)
+	arrivals := make([]sim.Time, queries)
 	at := c.Eng.Now()
-	var lastArrival sim.Time
-	for i := 0; i < queries; i++ {
+	for i := range arrivals {
 		at = at.Add(rng.ExpDuration(meanGap))
-		if i == warmup {
-			boundary := at
-			c.Eng.At(boundary, func() { c.ResetMeasurement() })
-		}
-		c.Eng.At(at, func() { c.Submit() })
-		lastArrival = at
+		arrivals[i] = at
 	}
+	lastArrival := at
+	// Stream the trace through an Agenda: reserving queries+1 FIFO
+	// positions here (the +1 is the measurement reset at the warmup
+	// boundary, which must keep its place before the warmup-th arrival)
+	// makes the chained replay order-identical to scheduling every
+	// arrival up front, while the event heap stays shallow.
+	agenda := c.Eng.NewAgenda(queries + 1)
+	var schedule func(i int)
+	schedule = func(i int) {
+		if i == warmup {
+			agenda.At(arrivals[i], func() { c.ResetMeasurement() })
+		}
+		agenda.At(arrivals[i], func() {
+			if i+1 < queries {
+				schedule(i + 1)
+			}
+			c.Submit()
+		})
+	}
+	schedule(0)
 	// Drain: every query resolves within the deadline plus aggregation
 	// and hops; one extra second is ample.
 	c.Eng.Run(lastArrival.Add(sim.Duration(c.cfg.Node.IndexServe.Deadline) + sim.Second))

@@ -2,7 +2,6 @@ package cpumodel
 
 import (
 	"fmt"
-	"sort"
 
 	"perfiso/internal/sim"
 	"perfiso/internal/stats"
@@ -53,10 +52,9 @@ type Thread struct {
 	// OnDone fires when the burst completes (not when killed).
 	OnDone func()
 
-	ideal    int      // preferred core for placement
-	core     int      // core currently running or queued on (-1 otherwise)
-	readyAt  sim.Time // when the thread last became ready (for FIFO pulls)
-	queuePos int      // index in its core's queue when StateReady
+	ideal   int      // preferred core for placement
+	core    int      // core currently running or queued on (-1 otherwise)
+	readyAt sim.Time // when the thread last became ready (for FIFO pulls)
 }
 
 // eff returns the thread's effective affinity.
@@ -70,8 +68,15 @@ type Process struct {
 
 	m        *Machine
 	affinity CPUSet
-	threads  map[int]*Thread
-	cpuTime  sim.Duration // total CPU consumed (progress metric)
+	// threads holds the process's threads in ascending ID order (IDs
+	// are allocated monotonically, so append preserves the order every
+	// scheduling sweep relies on). Completed threads linger as
+	// StateDone tombstones and are compacted in batches: removal is
+	// O(1) amortized where the old map+sort("thread-map") layout paid
+	// an allocation and an O(n log n) sort on every affinity sweep.
+	threads []*Thread
+	live    int          // threads not yet Done (tombstones excluded)
+	cpuTime sim.Duration // total CPU consumed (progress metric)
 
 	// Windowed cycle budget (CPU rate control). capFrac <= 0 disables.
 	capFrac     float64
@@ -94,7 +99,32 @@ func (p *Process) CPUTime() sim.Duration {
 }
 
 // LiveThreads reports how many threads are not Done.
-func (p *Process) LiveThreads() int { return len(p.threads) }
+func (p *Process) LiveThreads() int { return p.live }
+
+// addThread records a freshly spawned thread. Spawn allocates IDs
+// monotonically, so appending keeps p.threads in ID order.
+func (p *Process) addThread(t *Thread) {
+	p.threads = append(p.threads, t)
+	p.live++
+}
+
+// dropThread retires a thread that has just entered StateDone. The
+// entry stays behind as a tombstone until enough accumulate, then one
+// pass copies the survivors into a fresh slice — never in place, so a
+// scheduling sweep ranging over the old header mid-drop still sees a
+// stable snapshot.
+func (p *Process) dropThread() {
+	p.live--
+	if len(p.threads) >= 32 && p.live*2 < len(p.threads) {
+		kept := make([]*Thread, 0, p.live)
+		for _, t := range p.threads {
+			if t.State != StateDone {
+				kept = append(kept, t)
+			}
+		}
+		p.threads = kept
+	}
+}
 
 // Frozen reports whether the process is currently frozen by its cycle
 // budget.
@@ -109,6 +139,50 @@ type core struct {
 	runStart   sim.Time // last accounting accrual point
 	idleStart  sim.Time // when the core last went idle
 	epoch      uint64   // invalidates stale slice events
+
+	// sliceEv/sliceTimer track the armed slice event so preemption can
+	// cancel it instead of leaving a dead event in the heap.
+	sliceEv    *sliceEvent
+	sliceTimer sim.Timer
+}
+
+// sliceEvent is a pooled slice-expiry record. Its fn field is bound to
+// fire exactly once, so arming a slice costs no allocation: the record
+// cycles between the machine's pool and the engine, and fire releases
+// it back to the pool before dispatching (the handlers may arm the next
+// slice, which can legally reuse this very record).
+type sliceEvent struct {
+	m         *Machine
+	c         *core
+	t         *Thread
+	epoch     uint64
+	completes bool
+	fn        func()
+}
+
+func (ev *sliceEvent) fire() {
+	m, c, t, epoch, completes := ev.m, ev.c, ev.t, ev.epoch, ev.completes
+	ev.c, ev.t = nil, nil
+	m.slicePool = append(m.slicePool, ev)
+	if c.epoch != epoch || c.running != t {
+		return // stale: the thread was evicted or killed
+	}
+	if completes {
+		m.completeSlice(c)
+	} else {
+		m.expireQuantum(c)
+	}
+}
+
+func (m *Machine) getSliceEvent() *sliceEvent {
+	if n := len(m.slicePool); n > 0 {
+		ev := m.slicePool[n-1]
+		m.slicePool = m.slicePool[:n-1]
+		return ev
+	}
+	ev := &sliceEvent{m: m}
+	ev.fn = ev.fire
+	return ev
 }
 
 // Config holds the scheduler's tunables. Defaults model a Windows
@@ -159,6 +233,7 @@ type Machine struct {
 	procs       []*Process
 	nextThread  int
 	queuedCount int // total threads sitting in run queues
+	slicePool   []*sliceEvent
 
 	dispatchOverheadTotal sim.Duration
 
@@ -200,7 +275,6 @@ func (m *Machine) NewProcess(name string, class stats.Class) *Process {
 		Class:    class,
 		m:        m,
 		affinity: AllCores(m.cfg.Cores),
-		threads:  map[int]*Thread{},
 	}
 	m.procs = append(m.procs, p)
 	return p
@@ -291,7 +365,7 @@ func (m *Machine) Spawn(p *Process, burst sim.Duration, aff CPUSet, onDone func(
 		ideal:     m.nextThread % m.cfg.Cores,
 		core:      -1,
 	}
-	p.threads[t.ID] = t
+	p.addThread(t)
 	m.makeReady(t)
 	return t
 }
@@ -350,7 +424,6 @@ func (m *Machine) makeReady(t *Thread) {
 	c.queue = append(c.queue, nil)
 	copy(c.queue[pos+1:], c.queue[pos:])
 	c.queue[pos] = t
-	m.reindex(c)
 	m.queuedCount++
 }
 
@@ -399,17 +472,10 @@ func (m *Machine) scheduleSlice(c *core) {
 		slice = t.Remaining
 		completes = true
 	}
-	epoch := c.epoch
-	m.eng.After(slice, func() {
-		if c.epoch != epoch || c.running != t {
-			return // stale: the thread was evicted or killed
-		}
-		if completes {
-			m.completeSlice(c)
-		} else {
-			m.expireQuantum(c)
-		}
-	})
+	ev := m.getSliceEvent()
+	ev.c, ev.t, ev.epoch, ev.completes = c, t, c.epoch, completes
+	c.sliceEv = ev
+	c.sliceTimer = m.eng.AfterTimer(slice, ev.fn)
 }
 
 // completeSlice retires the running thread's burst.
@@ -420,7 +486,7 @@ func (m *Machine) completeSlice(c *core) {
 	t.Remaining = 0
 	t.State = StateDone
 	t.core = -1
-	delete(t.Proc.threads, t.ID)
+	t.Proc.dropThread()
 	c.running = nil
 	c.epoch++
 	m.pickNext(c)
@@ -453,7 +519,6 @@ func (m *Machine) expireQuantum(c *core) {
 	c.epoch++
 	t.State = StateReady
 	t.readyAt = now
-	t.queuePos = len(c.queue)
 	c.queue = append(c.queue, t)
 	m.queuedCount++
 	m.pickNext(c)
@@ -466,7 +531,6 @@ func (m *Machine) pickNext(c *core) {
 	for len(c.queue) > 0 {
 		t := c.queue[0]
 		c.queue = c.queue[1:]
-		m.reindex(c)
 		m.queuedCount--
 		if t.State != StateReady {
 			continue // killed or migrated while queued
@@ -513,13 +577,6 @@ func (m *Machine) oldestEligible(coreID int) *Thread {
 	return best
 }
 
-// reindex refreshes queuePos after queue mutation.
-func (m *Machine) reindex(c *core) {
-	for i, t := range c.queue {
-		t.queuePos = i
-	}
-}
-
 // remove takes a ready thread out of its queue.
 func (m *Machine) remove(t *Thread) {
 	if t.State != StateReady || t.core < 0 {
@@ -538,7 +595,6 @@ func (m *Machine) remove(t *Thread) {
 		panic("cpumodel: queued thread not found in its queue")
 	}
 	c.queue = append(q[:idx], q[idx+1:]...)
-	m.reindex(c)
 	m.queuedCount--
 	t.core = -1
 }
@@ -559,20 +615,16 @@ func (m *Machine) preempt(t *Thread) {
 	c.running = nil
 	c.epoch++
 	t.core = -1
-	m.pickNext(c)
-}
-
-// sortedThreads returns p's live threads in ID order. The threads map
-// must never be ranged directly where thread handling order can reach
-// scheduling decisions: Go randomizes map iteration, and eviction or
-// kill order would then vary between identically-seeded runs.
-func (p *Process) sortedThreads() []*Thread {
-	out := make([]*Thread, 0, len(p.threads))
-	for _, t := range p.threads {
-		out = append(out, t)
+	// The armed slice event is now stale; cancel it so it never
+	// surfaces (it would have been an epoch-check no-op) and reclaim
+	// its record.
+	if m.eng.Cancel(c.sliceTimer) {
+		ev := c.sliceEv
+		ev.c, ev.t = nil, nil
+		m.slicePool = append(m.slicePool, ev)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	c.sliceEv = nil
+	m.pickNext(c)
 }
 
 // SetAffinity updates a process's affinity mask. Running threads outside
@@ -584,7 +636,11 @@ func (p *Process) sortedThreads() []*Thread {
 func (m *Machine) SetAffinity(p *Process, mask CPUSet) {
 	p.affinity = mask
 	var displaced []*Thread
-	for _, t := range p.sortedThreads() {
+	// p.threads is kept in ID order (tombstones skipped), so the sweep
+	// visits threads exactly as the old sorted snapshot did — thread
+	// handling order reaches scheduling decisions, and any other order
+	// would break bit-identical reproduction.
+	for _, t := range p.threads {
 		switch t.State {
 		case StateRunning:
 			if !t.eff().Has(t.core) {
@@ -677,12 +733,15 @@ func (m *Machine) Cancel(t *Thread) {
 		// Leave it in the parked slice; unparkAll skips Done threads.
 	}
 	t.State = StateDone
-	delete(t.Proc.threads, t.ID)
+	t.Proc.dropThread()
 }
 
 // Kill terminates every thread of p without firing OnDone.
 func (m *Machine) Kill(p *Process) {
-	for _, t := range p.sortedThreads() {
+	for _, t := range p.threads {
+		if t.State == StateDone {
+			continue
+		}
 		switch t.State {
 		case StateRunning:
 			m.preempt(t)
@@ -690,8 +749,9 @@ func (m *Machine) Kill(p *Process) {
 			m.remove(t)
 		}
 		t.State = StateDone
-		delete(p.threads, t.ID)
 	}
+	p.threads = nil
+	p.live = 0
 	p.parked = nil
 }
 
@@ -760,7 +820,7 @@ func (m *Machine) runThrottle(p *Process) {
 func (m *Machine) freeze(p *Process) {
 	p.frozen = true
 	var victims []*Thread
-	for _, t := range p.sortedThreads() {
+	for _, t := range p.threads {
 		switch t.State {
 		case StateRunning:
 			m.preempt(t)

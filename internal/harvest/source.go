@@ -56,24 +56,58 @@ func traceJobSpec(t workload.BatchTaskSpec) JobSpec {
 // Start schedules every submission. Records whose submit time is
 // already in the past (e.g. a trace starting at zero fed after warmup)
 // are submitted at the current simulation time, preserving order.
+//
+// Like the query-trace client, submissions are streamed through an
+// Agenda when the (clamped) submit times are nondecreasing — identical
+// order to up-front scheduling, without holding the whole trace in the
+// event heap. Out-of-order traces fall back to up-front scheduling.
 func (f *TraceFeeder) Start() {
 	if f.started {
 		panic("harvest: trace feeder started twice")
 	}
 	f.started = true
-	for _, t := range f.trace {
+	if len(f.trace) == 0 {
+		return
+	}
+	now := f.eng.Now()
+	ats := make([]sim.Time, len(f.trace))
+	sorted := true
+	for i, t := range f.trace {
 		at := t.Submit
-		if now := f.eng.Now(); at < now {
+		if at < now {
 			at = now
 		}
-		f.eng.At(at, func() {
-			if _, err := f.sched.Submit(traceJobSpec(t)); err != nil {
-				// Validated at construction; a failure here is a bug.
-				panic(fmt.Sprintf("harvest: replaying trace record %d: %v", t.ID, err))
+		ats[i] = at
+		if i > 0 && at < ats[i-1] {
+			sorted = false
+		}
+	}
+	a := f.eng.NewAgenda(len(f.trace))
+	submit := func(t workload.BatchTaskSpec) {
+		if _, err := f.sched.Submit(traceJobSpec(t)); err != nil {
+			// Validated at construction; a failure here is a bug.
+			panic(fmt.Sprintf("harvest: replaying trace record %d: %v", t.ID, err))
+		}
+		f.Submitted++
+	}
+	if !sorted {
+		for i, t := range f.trace {
+			t := t
+			a.At(ats[i], func() { submit(t) })
+		}
+		return
+	}
+	var next func(i int)
+	next = func(i int) {
+		t := f.trace[i]
+		a.At(ats[i], func() {
+			if i+1 < len(f.trace) {
+				next(i + 1)
 			}
-			f.Submitted++
+			submit(t)
 		})
 	}
+	next(0)
 }
 
 // Tasks reports the trace length.

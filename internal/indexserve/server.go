@@ -128,11 +128,16 @@ func (s *Server) AttachNIC(nic *netmodel.NIC) { s.nic = nic }
 type query struct {
 	id          int
 	arrival     sim.Time
-	rng         *sim.RNG
+	rng         sim.RNG
 	outstanding int
 	done        bool
 	threads     []*cpumodel.Thread
 	observer    func(Response)
+	// deadline and spec are cancelled at finish so a completed query
+	// leaves nothing behind in the event heap; both events were pure
+	// no-ops once done was set, so cancelling them changes no outcome.
+	deadline sim.Timer
+	spec     sim.Timer
 }
 
 // New binds a server to a machine. ssd and hdd may be nil.
@@ -180,7 +185,7 @@ func (s *Server) SubmitObserved(spec workload.QuerySpec, fn func(Response)) {
 	q := &query{
 		id:       spec.ID,
 		arrival:  s.eng.Now(),
-		rng:      sim.NewRNG(spec.Seed),
+		rng:      sim.SeededRNG(spec.Seed),
 		observer: fn,
 	}
 	s.inFlight++
@@ -217,7 +222,7 @@ func (s *Server) SubmitObserved(spec workload.QuerySpec, fn func(Response)) {
 
 	// Deadline: unanswered queries are dropped and their workers
 	// abandoned.
-	s.eng.After(s.cfg.Deadline, func() {
+	q.deadline = s.eng.AfterTimer(s.cfg.Deadline, func() {
 		if q.done {
 			return
 		}
@@ -226,7 +231,7 @@ func (s *Server) SubmitObserved(spec workload.QuerySpec, fn func(Response)) {
 
 	// Compensation checkpoint (target-driven parallelism).
 	if s.cfg.SpecWorkers > 0 {
-		s.eng.After(s.cfg.SpecCheckpoint, func() {
+		q.spec = s.eng.AfterTimer(s.cfg.SpecCheckpoint, func() {
 			if q.done {
 				return
 			}
@@ -279,6 +284,11 @@ func (s *Server) rank(q *query) {
 func (s *Server) finish(q *query, dropped bool) {
 	q.done = true
 	s.inFlight--
+	// Revoke the pending deadline/compensation events; each would be a
+	// no-op now that done is set, so cancellation only trims the heap.
+	// (When finish IS the deadline firing, its own Cancel is a no-op.)
+	s.eng.Cancel(q.deadline)
+	s.eng.Cancel(q.spec)
 	for _, t := range q.threads {
 		s.cpu.Cancel(t)
 	}

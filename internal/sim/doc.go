@@ -4,4 +4,47 @@
 // All PerfIso models (CPU, disk, network, tenants, the controller itself)
 // are driven by a single Engine so that every experiment is reproducible
 // bit-for-bit from its seed.
+//
+// # Engine internals
+//
+// The scheduler core is built for the per-event cost a half-million-query
+// replay pays millions of times over:
+//
+//   - Events live in a flat 4-ary min-heap (Heap[event]) over a plain
+//     slice. Entries are pointer-free 24-byte values — (at, seq, slot) —
+//     so pushes never allocate, the GC never scans the queue, and
+//     sift-up/down move a hole instead of swapping. The 4-ary shape
+//     halves a binary heap's depth and keeps a node's children within
+//     two cache lines.
+//
+//   - Ordering is the total order (at, seq): seq is a monotone counter
+//     stamped at scheduling time, so events at the same instant run in
+//     the order they were scheduled (FIFO). This tie-break is the
+//     contract bit-identical reproduction rests on — every committed
+//     artifact depends on it, and the differential and fuzz tests in
+//     this package enforce it against a container/heap reference.
+//
+//   - Callbacks are stored out-of-band in a slot pool indexed by the
+//     event's slot field; slots recycle through a free list, and a slot
+//     is cleared before its callback runs so a callback that schedules
+//     new events can never alias the closure it is executing.
+//
+//   - Cancellation (Timer, Engine.Cancel) is lazy: the slot's seq stamp
+//     is invalidated and the heap entry is discarded when it surfaces,
+//     without advancing the clock or counting as executed. Removing an
+//     entry from a totally ordered queue never reorders the remainder,
+//     so cancelling a would-have-been-no-op event is observationally
+//     invisible — services use it to keep dead deadline/quantum events
+//     from deepening the heap.
+//
+//   - Agenda streams a pre-planned batch (a query trace) by reserving
+//     its seq range up front and feeding events in one at a time as
+//     predecessors fire: execution order is provably identical to
+//     scheduling the whole batch eagerly, but the heap holds tens of
+//     events instead of hundreds of thousands.
+//
+// The RNG is splitmix64 with per-component Split streams; composite
+// generators batch their raw draws and settle accounting once per call,
+// so draw sequences are identical whether accounting is off, on, or
+// toggled mid-run.
 package sim

@@ -1,0 +1,269 @@
+package sim
+
+import "testing"
+
+// Edge cases of the rewritten engine core: same-instant scheduling,
+// empty-heap panics, burst growth and slot-pool reuse, cancellation,
+// and the Agenda streaming contract.
+
+func TestEngineScheduleAtCurrentInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(10, func() {
+		got = append(got, 1)
+		// Scheduling at exactly Now is legal and must run after the
+		// events already queued for this instant.
+		e.At(e.Now(), func() { got = append(got, 3) })
+	})
+	e.At(10, func() { got = append(got, 2) })
+	e.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("same-instant scheduling order = %v, want [1 2 3]", got)
+	}
+}
+
+func TestHeapPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on an empty heap did not panic")
+		}
+	}()
+	var h Heap[event]
+	h.Pop()
+}
+
+func TestHeapMinEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min on an empty heap did not panic")
+		}
+	}()
+	var h Heap[event]
+	h.Min()
+}
+
+func TestEngineBurstGrowthAndReuse(t *testing.T) {
+	// A 100k-event burst must grow the heap and slot pool, drain
+	// cleanly, and leave both fully reusable.
+	const n = 100_000
+	e := NewEngine()
+	fired := 0
+	for i := 0; i < n; i++ {
+		e.At(Time(i%977), func() { fired++ })
+	}
+	if e.Pending() != n {
+		t.Fatalf("pending = %d, want %d", e.Pending(), n)
+	}
+	e.RunAll()
+	if fired != n || e.Pending() != 0 {
+		t.Fatalf("fired %d (pending %d), want %d (0)", fired, e.Pending(), n)
+	}
+	// A second burst must recycle the freed slots, not grow the pool.
+	slots := len(e.fns)
+	for i := 0; i < n; i++ {
+		e.After(Duration(i%977), func() { fired++ })
+	}
+	e.RunAll()
+	if fired != 2*n {
+		t.Fatalf("fired %d after second burst, want %d", fired, 2*n)
+	}
+	if len(e.fns) != slots {
+		t.Fatalf("slot pool grew from %d to %d on reuse", slots, len(e.fns))
+	}
+}
+
+func TestEngineSlotReuseNoAliasing(t *testing.T) {
+	// A callback that schedules a new event reuses the slot of the
+	// event being dispatched (LIFO free list). The recycled slot must
+	// hold the new callback, never alias the one mid-execution.
+	e := NewEngine()
+	var got []string
+	e.At(1, func() {
+		got = append(got, "a")
+		e.At(2, func() { got = append(got, "b") })
+	})
+	e.RunAll()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got %v, want [a b]", got)
+	}
+	if len(e.fns) != 1 {
+		t.Fatalf("slot pool has %d slots, want 1 (recycled)", len(e.fns))
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.AfterTimer(100, func() { fired = true })
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	if !e.Cancel(tm) {
+		t.Fatal("Cancel of a pending event returned false")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after cancel, want 0", e.Pending())
+	}
+	if e.Cancel(tm) {
+		t.Fatal("second Cancel returned true")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Executed() != 0 {
+		t.Fatalf("executed = %d, want 0", e.Executed())
+	}
+
+	// Cancelling after the event ran is a no-op.
+	tm = e.AfterTimer(1, func() { fired = true })
+	e.RunAll()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if e.Cancel(tm) {
+		t.Fatal("Cancel of an already-fired event returned true")
+	}
+	if e.Cancel(Timer{}) {
+		t.Fatal("Cancel of the zero Timer returned true")
+	}
+}
+
+func TestEngineCancelStaleTimerAfterSlotReuse(t *testing.T) {
+	e := NewEngine()
+	tmA := e.AfterTimer(1, func() {})
+	e.RunAll() // consumes A, recycles its slot
+	fired := false
+	e.AfterTimer(1, func() { fired = true }) // B reuses A's slot
+	if e.Cancel(tmA) {
+		t.Fatal("stale Timer cancelled a newer event in the recycled slot")
+	}
+	e.RunAll()
+	if !fired {
+		t.Fatal("event in recycled slot did not fire")
+	}
+}
+
+func TestEngineCancelledHeadDoesNotAdvanceClock(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tm := e.AtTimer(50, func() { fired++ })
+	e.At(200, func() { fired++ })
+	e.Cancel(tm)
+	// Run past the cancelled event but short of the live one: the
+	// clock must land on until, never on the cancelled timestamp.
+	e.Run(100)
+	if fired != 0 || e.Now() != 100 {
+		t.Fatalf("fired=%d now=%v, want 0 at t=100", fired, e.Now())
+	}
+	e.RunAll()
+	if fired != 1 || e.Now() != 200 {
+		t.Fatalf("fired=%d now=%v, want 1 at t=200", fired, e.Now())
+	}
+}
+
+func TestAgendaOrderMatchesUpfront(t *testing.T) {
+	times := []Time{5, 5, 5, 7, 7, 9}
+
+	upfront := NewEngine()
+	var want []int
+	for i, at := range times {
+		i := i
+		upfront.At(at, func() { want = append(want, i) })
+	}
+	upfront.RunAll()
+
+	chained := NewEngine()
+	var got []int
+	a := chained.NewAgenda(len(times))
+	var next func(i int)
+	next = func(i int) {
+		a.At(times[i], func() {
+			if i+1 < len(times) {
+				next(i + 1)
+			}
+			got = append(got, i)
+		})
+	}
+	next(0)
+	chained.RunAll()
+
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAgendaTiesAgainstLaterEvents(t *testing.T) {
+	// Reserved seqs predate anything scheduled after NewAgenda, so an
+	// agenda event streamed in late still wins FIFO ties against an
+	// event scheduled (with plain At) after the reservation.
+	e := NewEngine()
+	var got []string
+	a := e.NewAgenda(2)
+	e.At(10, func() { got = append(got, "later") })
+	a.At(5, func() { a.At(10, func() { got = append(got, "agenda") }) })
+	e.RunAll()
+	if len(got) != 2 || got[0] != "agenda" || got[1] != "later" {
+		t.Fatalf("got %v, want [agenda later]", got)
+	}
+}
+
+func TestAgendaExhaustedPanics(t *testing.T) {
+	e := NewEngine()
+	a := e.NewAgenda(1)
+	a.At(1, func() {})
+	if a.Remaining() != 0 {
+		t.Fatalf("remaining = %d, want 0", a.Remaining())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-consuming an agenda did not panic")
+		}
+	}()
+	a.At(2, func() {})
+}
+
+func TestAgendaPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.RunAll()
+	a := e.NewAgenda(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("agenda scheduling in the past did not panic")
+		}
+	}()
+	a.At(50, func() {})
+}
+
+func TestSeededRNGMatchesNewRNG(t *testing.T) {
+	a := NewRNG(12345)
+	b := SeededRNG(12345)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("SeededRNG stream differs from NewRNG")
+		}
+	}
+}
+
+func TestRNGUint64n(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10_000; i++ {
+		n := uint64(1 + r.Intn(1000))
+		if v := r.Uint64n(n); v >= n {
+			t.Fatalf("Uint64n(%d) = %d, out of range", n, v)
+		}
+	}
+	// Deterministic: same seed, same stream.
+	x, y := NewRNG(9), NewRNG(9)
+	for i := 0; i < 100; i++ {
+		if x.Uint64n(1000) != y.Uint64n(1000) {
+			t.Fatal("Uint64n stream not deterministic")
+		}
+	}
+}

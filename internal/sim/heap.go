@@ -1,0 +1,114 @@
+package sim
+
+// Item is the element constraint for Heap: a value type that orders
+// itself against its peers. Less must be a strict weak ordering.
+type Item[E any] interface{ Less(E) bool }
+
+// Heap is a flat 4-ary min-heap over a plain slice. It replaces
+// container/heap on the engine's hot path: elements are stored by
+// value (no interface{} boxing, so Push allocates only on slice
+// growth), comparisons and moves compile to direct calls that inline
+// for concrete element types (no heap.Interface method dispatch), and
+// sift-up/sift-down move the hole instead of swapping, halving the
+// writes. The 4-ary shape halves the tree depth of a binary heap and
+// keeps the four children of a node in at most two cache lines.
+//
+// Pop order between equal elements is unspecified; callers that need
+// a total order (the engine does) must make Less total, e.g. with a
+// sequence-number tie-break.
+//
+// The zero value is an empty, ready-to-use heap.
+type Heap[E Item[E]] struct {
+	s []E
+}
+
+// Len reports the number of queued elements.
+func (h *Heap[E]) Len() int { return len(h.s) }
+
+// Min returns the minimum element without removing it. It panics on an
+// empty heap, like indexing an empty slice.
+func (h *Heap[E]) Min() E { return h.s[0] }
+
+// Push adds x to the heap.
+func (h *Heap[E]) Push(x E) {
+	h.s = append(h.s, x)
+	h.up(len(h.s) - 1)
+}
+
+// Pop removes and returns the minimum element. It panics on an empty
+// heap.
+func (h *Heap[E]) Pop() E {
+	s := h.s
+	min := s[0]
+	last := len(s) - 1
+	x := s[last]
+	var zero E
+	s[last] = zero // release references for pointer-bearing E
+	h.s = s[:last]
+	if last > 0 {
+		h.sink(0, x)
+	}
+	return min
+}
+
+// up sifts the element at index i toward the root, moving the hole
+// rather than swapping.
+func (h *Heap[E]) up(i int) {
+	s := h.s
+	x := s[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !x.Less(s[p]) {
+			break
+		}
+		s[i] = s[p]
+		i = p
+	}
+	s[i] = x
+}
+
+// sink places x into the hole at index i and sifts it down.
+func (h *Heap[E]) sink(i int, x E) {
+	s := h.s
+	n := len(s)
+	for {
+		c := i<<2 + 1 // first child
+		if c >= n {
+			break
+		}
+		m := c // minimum child
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if s[j].Less(s[m]) {
+				m = j
+			}
+		}
+		if !s[m].Less(x) {
+			break
+		}
+		s[i] = s[m]
+		i = m
+	}
+	s[i] = x
+}
+
+// Grow ensures capacity for at least n additional elements.
+func (h *Heap[E]) Grow(n int) {
+	if need := len(h.s) + n; need > cap(h.s) {
+		grown := make([]E, len(h.s), need)
+		copy(grown, h.s)
+		h.s = grown
+	}
+}
+
+// Reset empties the heap, retaining its capacity for reuse.
+func (h *Heap[E]) Reset() {
+	var zero E
+	for i := range h.s {
+		h.s[i] = zero
+	}
+	h.s = h.s[:0]
+}

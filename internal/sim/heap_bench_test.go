@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkEventHeap prices one push+pop cycle at a steady queue depth,
+// old versus new:
+//
+//	old — the engine's original design: boxed *refEvent elements
+//	      through container/heap's interface dispatch (one allocation
+//	      per push, like the closure-carrying events it stored);
+//	new — the flat 4-ary Heap[event] with pointer-free entries.
+//
+// scripts/bench.sh runs these and warns (or fails, under
+// BENCH_STRICT=1) when the new/old ns-per-op ratio regresses past 1.2.
+func BenchmarkEventHeap(b *testing.B) {
+	for _, depth := range []int{1_000, 100_000} {
+		name := fmt.Sprintf("depth=%dk", depth/1000)
+		b.Run("new/"+name, func(b *testing.B) {
+			var h Heap[event]
+			rng := NewRNG(1)
+			for i := 0; i < depth; i++ {
+				h.Push(event{at: Time(rng.Uint64n(1 << 30)), seq: uint64(i)})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Push(event{at: Time(rng.Uint64n(1 << 30)), seq: uint64(depth + i)})
+				h.Pop()
+			}
+		})
+		b.Run("old/"+name, func(b *testing.B) {
+			var q refQueue
+			rng := NewRNG(1)
+			for i := 0; i < depth; i++ {
+				heap.Push(&q, &refEvent{at: Time(rng.Uint64n(1 << 30)), seq: uint64(i)})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				heap.Push(&q, &refEvent{at: Time(rng.Uint64n(1 << 30)), seq: uint64(depth + i)})
+				heap.Pop(&q)
+			}
+		})
+	}
+}

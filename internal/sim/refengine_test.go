@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"testing"
+)
+
+// This file keeps the engine's original container/heap design alive as
+// a test-only reference implementation: boxed events ordered by the
+// same (at, seq) key, driven through heap.Interface. The differential
+// test below runs randomized schedules — equal-timestamp bursts,
+// self-rescheduling callbacks, cancellations, mixed Step/Run draining —
+// against both implementations and requires identical execution traces.
+// BenchmarkEventHeap (heap_bench_test.go) uses the same reference as
+// its "old" side.
+
+type refEvent struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+}
+
+type refQueue []*refEvent
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x any)   { *q = append(*q, x.(*refEvent)) }
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old) - 1
+	ev := old[n]
+	old[n] = nil
+	*q = old[:n]
+	return ev
+}
+
+// refEngine is the reference discrete-event loop: same scheduling
+// semantics as Engine (FIFO ties, past-panic, lazy cancellation, Run
+// clock advancement), built on container/heap.
+type refEngine struct {
+	now      Time
+	q        refQueue
+	seq      uint64
+	executed uint64
+	live     int
+}
+
+func (e *refEngine) At(t Time, fn func()) *refEvent {
+	if t < e.now {
+		panic(fmt.Sprintf("refsim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &refEvent{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.q, ev)
+	e.live++
+	return ev
+}
+
+func (e *refEngine) Cancel(ev *refEvent) bool {
+	if ev == nil || ev.cancelled || ev.fn == nil {
+		return false
+	}
+	ev.cancelled = true
+	ev.fn = nil
+	e.live--
+	return true
+}
+
+func (e *refEngine) Step() bool {
+	for len(e.q) > 0 {
+		ev := heap.Pop(&e.q).(*refEvent)
+		if ev.cancelled {
+			continue
+		}
+		fn := ev.fn
+		ev.fn = nil
+		e.live--
+		e.now = ev.at
+		e.executed++
+		fn()
+		return true
+	}
+	return false
+}
+
+func (e *refEngine) Run(until Time) {
+	for len(e.q) > 0 {
+		if e.q[0].cancelled {
+			heap.Pop(&e.q)
+			continue
+		}
+		if e.q[0].at > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// simAPI abstracts the two engines so one scripted workload can drive
+// both identically.
+type simAPI interface {
+	now() Time
+	schedule(t Time, fn func()) (cancel func() bool)
+	step() bool
+	run(until Time)
+	pending() int
+	numExecuted() uint64
+}
+
+type newAPI struct{ e *Engine }
+
+func (a newAPI) now() Time { return a.e.Now() }
+func (a newAPI) schedule(t Time, fn func()) func() bool {
+	tm := a.e.AtTimer(t, fn)
+	return func() bool { return a.e.Cancel(tm) }
+}
+func (a newAPI) step() bool          { return a.e.Step() }
+func (a newAPI) run(until Time)      { a.e.Run(until) }
+func (a newAPI) pending() int        { return a.e.Pending() }
+func (a newAPI) numExecuted() uint64 { return a.e.Executed() }
+
+type refAPI struct{ e *refEngine }
+
+func (a refAPI) now() Time { return a.e.now }
+func (a refAPI) schedule(t Time, fn func()) func() bool {
+	ev := a.e.At(t, fn)
+	return func() bool { return a.e.Cancel(ev) }
+}
+func (a refAPI) step() bool          { return a.e.Step() }
+func (a refAPI) run(until Time)      { a.e.Run(until) }
+func (a refAPI) pending() int        { return a.e.live }
+func (a refAPI) numExecuted() uint64 { return a.e.executed }
+
+type firing struct {
+	id uint64
+	at Time
+}
+
+// driveScript runs one randomized scenario against an engine. All
+// decisions come from a seeded RNG whose draw order depends only on
+// the engine's dispatch order, so two implementations with identical
+// semantics consume identical streams and produce identical traces —
+// and any semantic divergence derails the trace immediately.
+func driveScript(e simAPI, seed uint64) (trace []firing, executed uint64, end Time) {
+	rng := NewRNG(seed)
+	var nextID uint64
+	var cancels []func() bool
+
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		id := nextID
+		nextID++
+		// Heavy mass at offset zero forces same-instant bursts; the
+		// other branches mix near-ties and spread-out events.
+		var off Duration
+		switch rng.Intn(4) {
+		case 0, 1:
+			off = 0
+		case 2:
+			off = Duration(rng.Intn(3))
+		default:
+			off = Duration(rng.Intn(1000))
+		}
+		cancel := e.schedule(e.now().Add(off), func() {
+			trace = append(trace, firing{id: id, at: e.now()})
+			if depth > 0 {
+				for k := rng.Intn(3); k > 0; k-- {
+					spawn(depth - 1)
+				}
+			}
+			// Occasionally cancel an arbitrary timer: pending, fired,
+			// already cancelled — all must behave identically.
+			if len(cancels) > 0 && rng.Intn(4) == 0 {
+				cancels[rng.Intn(len(cancels))]()
+			}
+		})
+		cancels = append(cancels, cancel)
+	}
+
+	for i := 0; i < 40; i++ {
+		spawn(3)
+	}
+	for e.pending() > 0 {
+		if rng.Intn(3) == 0 {
+			e.step()
+		} else {
+			e.run(e.now().Add(Duration(rng.Intn(400) + 1)))
+		}
+	}
+	return trace, e.numExecuted(), e.now()
+}
+
+func TestEngineDifferential(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		gotTrace, gotExec, gotEnd := driveScript(newAPI{NewEngine()}, seed)
+		wantTrace, wantExec, wantEnd := driveScript(refAPI{&refEngine{}}, seed)
+		if len(gotTrace) != len(wantTrace) {
+			t.Fatalf("seed %d: %d firings, reference %d", seed, len(gotTrace), len(wantTrace))
+		}
+		for i := range gotTrace {
+			if gotTrace[i] != wantTrace[i] {
+				t.Fatalf("seed %d: firing %d = %+v, reference %+v", seed, i, gotTrace[i], wantTrace[i])
+			}
+		}
+		if gotExec != wantExec {
+			t.Fatalf("seed %d: executed %d, reference %d", seed, gotExec, wantExec)
+		}
+		if gotEnd != wantEnd {
+			t.Fatalf("seed %d: final clock %v, reference %v", seed, gotEnd, wantEnd)
+		}
+	}
+}
+
+// TestEngineDifferentialAgenda replays the same planned batch through
+// Agenda-chained streaming on the new engine and up-front scheduling
+// on the reference: the bit-identical-replay contract says the firing
+// orders must match exactly, including FIFO ties.
+func TestEngineDifferentialAgenda(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		rng := NewRNG(seed)
+		n := 200 + rng.Intn(200)
+		times := make([]Time, n)
+		var at Time
+		for i := range times {
+			// Zero gaps are common, producing long equal-time runs.
+			at = at.Add(Duration(rng.Intn(3)))
+			times[i] = at
+		}
+
+		ref := &refEngine{}
+		var wantTrace []firing
+		for i, tt := range times {
+			i, tt := i, tt
+			ref.At(tt, func() { wantTrace = append(wantTrace, firing{id: uint64(i), at: ref.now}) })
+		}
+		ref.Run(at + 10)
+
+		e := NewEngine()
+		var gotTrace []firing
+		a := e.NewAgenda(n)
+		var next func(i int)
+		next = func(i int) {
+			a.At(times[i], func() {
+				if i+1 < n {
+					next(i + 1)
+				}
+				gotTrace = append(gotTrace, firing{id: uint64(i), at: e.Now()})
+			})
+		}
+		next(0)
+		e.Run(at + 10)
+
+		if len(gotTrace) != len(wantTrace) {
+			t.Fatalf("seed %d: %d firings, reference %d", seed, len(gotTrace), len(wantTrace))
+		}
+		for i := range gotTrace {
+			if gotTrace[i] != wantTrace[i] {
+				t.Fatalf("seed %d: firing %d = %+v, reference %+v", seed, i, gotTrace[i], wantTrace[i])
+			}
+		}
+	}
+}

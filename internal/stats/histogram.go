@@ -74,7 +74,16 @@ func (h *Histogram) Add(v float64) {
 	}
 	b := h.bucketOf(v)
 	if b >= len(h.counts) {
-		grown := make([]uint64, b+16)
+		// Grow geometrically: the old +16 step re-copied the whole
+		// array every 16 new buckets, an O(n²) ramp over the ~2300
+		// buckets a nanosecond-scale latency range spans. Trailing
+		// zero buckets never affect totals, quantiles or merges, so
+		// the layout (and every committed artifact) is unchanged.
+		n := 2 * len(h.counts)
+		if n < b+16 {
+			n = b + 16
+		}
+		grown := make([]uint64, n)
 		copy(grown, h.counts)
 		h.counts = grown
 	}

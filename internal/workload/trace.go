@@ -64,15 +64,42 @@ func NewClient(eng *sim.Engine, submit func(QuerySpec)) *Client {
 	return &Client{eng: eng, submit: submit}
 }
 
-// Replay schedules every arrival of the trace.
+// Replay schedules every arrival of the trace. Arrivals are streamed:
+// an Agenda reserves the whole trace's FIFO positions up front (so the
+// execution order is identical to scheduling all of them here), but
+// each arrival enters the event heap only when its predecessor fires,
+// keeping the heap shallow no matter how long the trace is. Streaming
+// requires nondecreasing arrival times (all generators here produce
+// them); an out-of-order trace falls back to up-front scheduling.
 func (c *Client) Replay(trace []QuerySpec) {
-	for _, q := range trace {
-		q := q
-		c.eng.At(q.Arrival, func() {
+	if len(trace) == 0 {
+		return
+	}
+	a := c.eng.NewAgenda(len(trace))
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Arrival < trace[i-1].Arrival {
+			for _, q := range trace {
+				q := q
+				a.At(q.Arrival, func() {
+					c.Sent++
+					c.submit(q)
+				})
+			}
+			return
+		}
+	}
+	var next func(i int)
+	next = func(i int) {
+		q := trace[i]
+		a.At(q.Arrival, func() {
+			if i+1 < len(trace) {
+				next(i + 1)
+			}
 			c.Sent++
 			c.submit(q)
 		})
 	}
+	next(0)
 }
 
 // GenerateCurvedTrace produces an open-loop trace whose instantaneous
