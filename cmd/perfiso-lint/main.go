@@ -1,0 +1,119 @@
+// Command perfiso-lint is the multichecker for the repo's determinism
+// analyzers (internal/lintrules): walltime, globalrand, maporder,
+// nogoroutine, seqcontract. It loads packages through the go tool, so
+// it must run where `go list` works — normally the module root.
+//
+//	perfiso-lint ./...                 # lint the whole module
+//	perfiso-lint -json ./internal/sim  # machine-readable findings
+//	perfiso-lint -list                 # describe the analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. Findings
+// are suppressed per line by //perfiso:allow <analyzer> <reason>
+// comments and per package by `allow` entries in lint.conf (-conf).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"perfiso/internal/lintrules"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("perfiso-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir      = fs.String("dir", ".", "module root to lint (where go list runs)")
+		confPath = fs.String("conf", "", "lint.conf path (default <dir>/lint.conf; missing file = empty config)")
+		jsonOut  = fs.Bool("json", false, "emit findings as JSON")
+		list     = fs.Bool("list", false, "describe the analyzers and exit")
+		only     = fs.String("only", "", "comma-separated analyzer names to run (default all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lintrules.Analyzers()
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := lintrules.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "perfiso-lint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	if *confPath == "" {
+		*confPath = filepath.Join(*dir, "lint.conf")
+	}
+	conf, err := lintrules.LoadConfig(*confPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "perfiso-lint: %v\n", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lintrules.RunPatterns(*dir, conf, analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "perfiso-lint: %v\n", err)
+		return 2
+	}
+
+	// Report paths relative to the linted root: stable across checkouts
+	// and CI runners.
+	absDir, err := filepath.Abs(*dir)
+	if err == nil {
+		for i := range findings {
+			if rel, err := filepath.Rel(absDir, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+				findings[i].File = rel
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		out := struct {
+			Findings []lintrules.Finding `json:"findings"`
+		}{Findings: findings}
+		if out.Findings == nil {
+			out.Findings = []lintrules.Finding{}
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "perfiso-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "perfiso-lint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}

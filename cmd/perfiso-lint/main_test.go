@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"perfiso/internal/lintrules"
+)
+
+// capture runs main's run() with stdout/stderr captured.
+func capture(t *testing.T, args []string) (code int, stdout, stderr string) {
+	t.Helper()
+	outF, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.CreateTemp(t.TempDir(), "stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = run(args, outF, errF)
+	out, err := os.ReadFile(outF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errOut, err := os.ReadFile(errF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(out), string(errOut)
+}
+
+// TestRepoLintsClean is the acceptance gate in miniature: the tree
+// must lint clean, under the committed lint.conf, via the same entry
+// point CI uses. The -json round-trip is checked at the same time.
+func TestRepoLintsClean(t *testing.T) {
+	code, stdout, stderr := capture(t, []string{"-dir", "../..", "-json", "./..."})
+	if code != 0 {
+		t.Fatalf("perfiso-lint on the repo exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	var out struct {
+		Findings []lintrules.Finding `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout)
+	}
+	if len(out.Findings) != 0 {
+		t.Errorf("repo has findings: %v", out.Findings)
+	}
+}
+
+func TestListDescribesAllAnalyzers(t *testing.T) {
+	code, stdout, _ := capture(t, []string{"-list"})
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, a := range lintrules.Analyzers() {
+		if !strings.Contains(stdout, a.Name) {
+			t.Errorf("-list output missing %s", a.Name)
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	code, _, stderr := capture(t, []string{"-only", "warptime"})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("stderr: %s", stderr)
+	}
+}

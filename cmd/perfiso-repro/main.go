@@ -671,7 +671,7 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 	// Claims and heartbeats reap expired leases, but a fleet that died
 	// wholesale sends neither — tick the reaper so those leases still
 	// requeue and an exhausted unit still fails the run.
-	reaper := time.NewTicker(*lease/2 + time.Millisecond)
+	reaper := time.NewTicker(*lease/2 + time.Millisecond) //perfiso:allow walltime lease expiry is wall-clock by design
 	defer reaper.Stop()
 	go func() {
 		for {
@@ -688,7 +688,7 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 	// Registered after srv.Close's defer, so it runs first: the server
 	// stays up through the linger window and workers polling claim get
 	// the terminal done/failed answer instead of connection refused.
-	defer func() { time.Sleep(*linger) }()
+	defer func() { time.Sleep(*linger) }() //perfiso:allow walltime linger window holds the real HTTP server open
 	if err := c.Err(); err != nil {
 		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
 		return 1

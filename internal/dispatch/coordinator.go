@@ -109,7 +109,7 @@ func NewCoordinator(m shard.Manifest, opts Options) (*Coordinator, error) {
 		opts.WaitHint = DefaultWaitHint
 	}
 	if opts.now == nil {
-		opts.now = time.Now
+		opts.now = time.Now //perfiso:allow walltime lease clock; tests inject a fake
 	}
 	if opts.Tracker == nil {
 		opts.Tracker = obs.Default()
@@ -404,10 +404,14 @@ func (c *Coordinator) Timing() experiments.DispatchTiming {
 		Steals:       c.steals,
 		StaleUploads: c.stale,
 	}
-	for _, w := range c.workers {
-		t.Workers = append(t.Workers, *w)
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
 	}
-	sort.Slice(t.Workers, func(a, b int) bool { return t.Workers[a].Worker < t.Workers[b].Worker })
+	sort.Strings(names)
+	for _, name := range names {
+		t.Workers = append(t.Workers, *c.workers[name])
+	}
 	for _, s := range c.states {
 		if s.status != unitDone {
 			continue

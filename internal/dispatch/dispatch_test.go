@@ -465,3 +465,27 @@ func TestDispatchWorkerCrashByteIdentical(t *testing.T) {
 		t.Error("artifacts differ after an injected worker crash")
 	}
 }
+
+// TestTimingWorkersSortedByName: Timing() must list workers in sorted
+// name order regardless of registration (map) order — the perfiso-lint
+// maporder cleanup replaced an append-then-sort over the workers map
+// with sorted-key iteration, and timing.json's dispatch section must
+// stay deterministic for a given schedule.
+func TestTimingWorkersSortedByName(t *testing.T) {
+	c, err := NewCoordinator(fakeManifest(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"zed", "alpha", "mike"} {
+		c.claim(name)
+	}
+	workers := c.Timing().Workers
+	if len(workers) != 3 {
+		t.Fatalf("got %d workers, want 3", len(workers))
+	}
+	for i := 1; i < len(workers); i++ {
+		if workers[i-1].Worker >= workers[i].Worker {
+			t.Fatalf("workers not sorted by name: %q before %q", workers[i-1].Worker, workers[i].Worker)
+		}
+	}
+}

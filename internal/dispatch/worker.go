@@ -74,7 +74,7 @@ func (w *Worker) postJSON(ctx context.Context, path string, body, out any) error
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(backoff):
+			case <-time.After(backoff): //perfiso:allow walltime retry backoff between real HTTP attempts
 			}
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(blob))
@@ -140,7 +140,7 @@ func FetchManifest(ctx context.Context, client *http.Client, base string) (shard
 			select {
 			case <-ctx.Done():
 				return shard.Manifest{}, ctx.Err()
-			case <-time.After(500 * time.Millisecond):
+			case <-time.After(500 * time.Millisecond): //perfiso:allow walltime retry backoff between real HTTP attempts
 			}
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/manifest", nil)
@@ -197,7 +197,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(wait):
+			case <-time.After(wait): //perfiso:allow walltime coordinator-directed claim poll wait
 			}
 		}
 	}
@@ -215,7 +215,7 @@ func (w *Worker) execute(ctx context.Context, claim claimResponse) error {
 		if interval <= 0 {
 			interval = DefaultLeaseTTL / 3
 		}
-		ticker := time.NewTicker(interval)
+		ticker := time.NewTicker(interval) //perfiso:allow walltime lease heartbeats pace real time
 		defer ticker.Stop()
 		for {
 			select {
@@ -231,7 +231,7 @@ func (w *Worker) execute(ctx context.Context, claim claimResponse) error {
 		}
 	}()
 
-	start := time.Now()
+	start := time.Now() //perfiso:allow walltime unit wall cost feeds timing.json only
 	cell, runErr := w.Runner.RunUnit(claim.Unit)
 	stopHB()
 	<-hbDone
@@ -243,7 +243,7 @@ func (w *Worker) execute(ctx context.Context, claim claimResponse) error {
 	if trk == nil {
 		trk = obs.Default()
 	}
-	upStart := time.Now()
+	upStart := time.Now() //perfiso:allow walltime upload latency feeds the obs tracker only
 	err := w.postJSON(ctx, "/v1/upload", uploadRequest{
 		Worker:       w.Name,
 		ManifestHash: w.Runner.Manifest.Hash,
@@ -258,11 +258,11 @@ func (w *Worker) execute(ctx context.Context, claim claimResponse) error {
 		return err
 	}
 	if trk.Enabled() {
-		trk.Upload(time.Since(upStart).Seconds())
+		trk.Upload(time.Since(upStart).Seconds()) //perfiso:allow walltime upload latency feeds the obs tracker only
 	}
 	w.Units++
 	if w.OnUnit != nil {
-		w.OnUnit(cell.Experiment, cell.Cell, time.Since(start))
+		w.OnUnit(cell.Experiment, cell.Cell, time.Since(start)) //perfiso:allow walltime unit wall cost feeds timing.json only
 	}
 	return nil
 }

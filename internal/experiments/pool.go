@@ -78,6 +78,7 @@ func runCells(cells []Cell, workers int, done func(i, worker int, v any, start t
 	var panicked any
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//perfiso:allow nogoroutine the pool is the concurrency boundary cells run under
 		go func(w int) {
 			defer wg.Done()
 			defer func() {
@@ -90,9 +91,9 @@ func runCells(cells []Cell, workers int, done func(i, worker int, v any, start t
 				if i >= len(cells) {
 					return
 				}
-				start := time.Now()
+				start := time.Now() //perfiso:allow walltime cell wall cost feeds timing.json only
 				v := cells[i].Run()
-				done(i, w, v, start, time.Since(start))
+				done(i, w, v, start, time.Since(start)) //perfiso:allow walltime cell wall cost feeds timing.json only
 			}
 		}(w)
 	}

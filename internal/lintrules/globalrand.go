@@ -1,0 +1,45 @@
+package lintrules
+
+import (
+	"go/types"
+)
+
+// globalRandConstructors are the math/rand{,/v2} functions that build
+// an explicitly seeded source rather than touching the process-global
+// one. They are tolerated (though sim.RNG/sim.SeededRNG remain the
+// idiomatic choice: they add draw accounting and a Lemire fast path).
+var globalRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+// GlobalRand forbids the process-global math/rand source. The global
+// source is seeded per process (and in rand/v2 cannot be re-seeded at
+// all), so any draw from it varies across runs and workers — the exact
+// failure the bit-identical-reproduction contract exists to rule out.
+// Randomness must flow from the cell seed through sim.RNG/sim.SeededRNG.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbids math/rand and math/rand/v2 top-level functions (the " +
+		"process-global source is not seed-pure); derive randomness from the " +
+		"cell seed via sim.RNG or sim.SeededRNG",
+	Run: runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) error {
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		path := fn.Pkg().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			continue
+		}
+		if fn.Type().(*types.Signature).Recv() != nil || globalRandConstructors[fn.Name()] {
+			continue
+		}
+		pass.Reportf(id.Pos(), "%s.%s draws from the process-global source; use sim.RNG/sim.SeededRNG seeded from the cell seed", path, fn.Name())
+	}
+	return nil
+}

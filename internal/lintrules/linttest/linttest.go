@@ -1,0 +1,188 @@
+// Package linttest is the fixture harness for the perfiso-lint
+// analyzers — a stdlib-only stand-in for x/tools' analysistest (see the
+// note in lintrules/analysis.go). Fixture packages live under
+// testdata/, where the go tool does not see them, so the harness parses
+// a fixture directory itself and type-checks it AS a caller-chosen
+// import path: the same files can be checked once as an in-scope
+// package and once as an out-of-scope one, pinning analyzer scoping.
+//
+// Expected findings are declared inline, analysistest-style:
+//
+//	start := time.Now() // want `time\.Now`
+//
+// Each backquoted or double-quoted regexp after `// want` must match
+// exactly one finding reported on that line, and every finding must be
+// claimed by a want. RunClean asserts the opposite: zero findings, any
+// want comments ignored (for out-of-scope and allowlist runs).
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"perfiso/internal/lintrules"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *lintrules.Loader
+	loaderErr  error
+)
+
+// fixtureImports are resolved up front so fixtures can import them.
+// "./..." pulls in every module package (sim for seqcontract fixtures)
+// and, transitively, most of std; the explicit entries are std packages
+// nothing in the module imports.
+var fixtureImports = []string{"./...", "math/rand", "math/rand/v2", "encoding/csv"}
+
+// sharedLoader builds one loader per test binary, rooted at the module
+// root, with export data for every fixture import preloaded.
+func sharedLoader(t *testing.T) *lintrules.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader = lintrules.NewLoader(root)
+		_, loaderErr = loader.Load(fixtureImports...)
+	})
+	if loaderErr != nil {
+		t.Fatalf("linttest loader: %v", loaderErr)
+	}
+	return loader
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// load type-checks the fixture directory as importPath and runs the
+// analyzers over it.
+func load(t *testing.T, fixtureDir, importPath string, conf *lintrules.Config, analyzers []*lintrules.Analyzer) []lintrules.Finding {
+	t.Helper()
+	l := sharedLoader(t)
+	files, err := l.ParseDir(fixtureDir)
+	if err != nil {
+		t.Fatalf("parsing fixture %s: %v", fixtureDir, err)
+	}
+	pkg, err := l.Check(importPath, files)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s as %s: %v", fixtureDir, importPath, err)
+	}
+	findings, err := lintrules.RunPackage(pkg, conf, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", fixtureDir, err)
+	}
+	return findings
+}
+
+// wantRx extracts the quoted regexps from a `// want` comment.
+var wantRx = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// Run checks the fixture at fixtureDir (type-checked as importPath)
+// against its inline `// want` expectations.
+func Run(t *testing.T, fixtureDir, importPath string, conf *lintrules.Config, analyzers ...*lintrules.Analyzer) {
+	t.Helper()
+	findings := load(t, fixtureDir, importPath, conf, analyzers)
+
+	type want struct {
+		rx   *regexp.Regexp
+		used bool
+	}
+	wants := map[string][]*want{} // "file:line" -> expectations
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		path := filepath.Join(fixtureDir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			_, after, found := strings.Cut(line, "// want ")
+			if !found {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", e.Name(), i+1)
+			for _, m := range wantRx.FindAllStringSubmatch(after, -1) {
+				expr := m[1]
+				if expr == "" {
+					expr = m[2]
+				}
+				rx, err := regexp.Compile(expr)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", key, expr, err)
+				}
+				wants[key] = append(wants[key], &want{rx: rx})
+			}
+		}
+	}
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.File), f.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.rx.MatchString(f.Message+" ("+f.Analyzer+")") {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s: %s (%s)", key, f.Message, f.Analyzer)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s: expected a finding matching %q, got none", key, w.rx)
+			}
+		}
+	}
+}
+
+// Findings returns the raw findings for a fixture, for tests whose
+// expectations cannot be expressed as `// want` comments (notably the
+// malformed-suppression fixtures, where a trailing want comment would
+// merge into the directive under scrutiny and change its meaning).
+func Findings(t *testing.T, fixtureDir, importPath string, conf *lintrules.Config, analyzers ...*lintrules.Analyzer) []lintrules.Finding {
+	t.Helper()
+	return load(t, fixtureDir, importPath, conf, analyzers)
+}
+
+// RunClean asserts the analyzers report nothing on the fixture —
+// because the package is out of an analyzer's scope or allowlisted in
+// conf — ignoring any `// want` comments in the files.
+func RunClean(t *testing.T, fixtureDir, importPath string, conf *lintrules.Config, analyzers ...*lintrules.Analyzer) {
+	t.Helper()
+	for _, f := range load(t, fixtureDir, importPath, conf, analyzers) {
+		t.Errorf("expected no findings, got %s:%d: %s (%s)", filepath.Base(f.File), f.Line, f.Message, f.Analyzer)
+	}
+}

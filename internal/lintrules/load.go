@@ -1,0 +1,251 @@
+package lintrules
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// The loader resolves and type-checks packages with nothing but the go
+// tool and the standard library: `go list -export -deps -json` yields
+// every package in the build graph along with the path of its compiled
+// export data in the build cache, and go/importer's gc importer reads
+// that export data through a lookup function. This is the same
+// division of labor as x/tools/go/packages in LoadTypes mode, minus the
+// dependency (see the note in analysis.go).
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// A Package is one parsed, type-checked unit ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader type-checks module packages against the build cache's export
+// data. It shells out to the go tool once per Load call.
+type Loader struct {
+	// Dir is the module root the go tool runs in ("" = cwd).
+	Dir string
+
+	fset    *token.FileSet
+	exports map[string]string
+	imp     types.Importer
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	l := &Loader{Dir: dir, fset: token.NewFileSet(), exports: map[string]string{}}
+	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return l
+}
+
+// Load resolves patterns (plus any extra import paths) through the go
+// tool and returns the matched non-standard-library packages,
+// type-checked, in the go tool's enumeration order. Standard-library
+// packages named directly in patterns are resolved for import but not
+// returned for analysis.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	var pkgs []*Package
+	for _, p := range targets {
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", p.ImportPath)
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(l.fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, err := l.Check(p.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// ParseDir parses every non-test .go file in dir (used by the fixture
+// harness, which loads testdata packages that go list cannot see).
+func (l *Loader) ParseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no .go files", dir)
+	}
+	return files, nil
+}
+
+// Check type-checks already-parsed files as the package at importPath,
+// resolving imports against export data gathered by previous Load
+// calls.
+func (l *Loader) Check(importPath string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+	return &Package{Path: importPath, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// RunPackage applies the analyzers to one package, honoring analyzer
+// scopes, lint.conf allowlists, and //perfiso:allow suppressions, and
+// returns the surviving findings sorted for deterministic output.
+// Malformed suppression directives are returned as findings under the
+// pseudo-analyzer "allow".
+func RunPackage(pkg *Package, conf *Config, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	collect := func(name string) func(token.Pos, string) {
+		return func(pos token.Pos, msg string) {
+			p := pkg.Fset.Position(pos)
+			findings = append(findings, Finding{
+				Analyzer: name, File: p.Filename, Line: p.Line, Col: p.Column, Message: msg,
+			})
+		}
+	}
+
+	sup := map[*ast.File]suppressions{}
+	for _, f := range pkg.Files {
+		sup[f] = parseSuppressions(pkg.Fset, f, collect("allow"))
+	}
+	fileOf := func(pos token.Pos) *ast.File {
+		for _, f := range pkg.Files {
+			if f.FileStart <= pos && pos < f.FileEnd {
+				return f
+			}
+		}
+		return nil
+	}
+
+	for _, a := range analyzers {
+		if a.InScope != nil && !a.InScope(pkg.Path) {
+			continue
+		}
+		if conf.Allowed(a.Name, pkg.Path) {
+			continue
+		}
+		report := collect(a.Name)
+		pass := &Pass{
+			Analyzer: a, Fset: pkg.Fset, Files: pkg.Files,
+			PkgPath: pkg.Path, Pkg: pkg.Types, TypesInfo: pkg.Info,
+			report: func(pos token.Pos, msg string) {
+				if f := fileOf(pos); f != nil {
+					if sup[f].suppressed(a.Name, pkg.Fset.Position(pos).Line) {
+						return
+					}
+				}
+				report(pos, msg)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// RunPatterns loads the packages matched by patterns from the module
+// rooted at dir and runs the analyzers over each. Findings come back
+// sorted; an empty slice means a clean tree.
+func RunPatterns(dir string, conf *Config, analyzers []*Analyzer, patterns ...string) ([]Finding, error) {
+	loader := NewLoader(dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		fs, err := RunPackage(pkg, conf, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}

@@ -1,0 +1,188 @@
+package lintrules
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map whose body does something
+// order-sensitive. Go randomizes map iteration order on purpose, so a
+// map range that appends to a slice, accumulates a float (FP addition
+// does not commute under rounding), writes output rows, sends on a
+// channel, or schedules a sim event produces a different result every
+// run — exactly the nondeterminism the byte-identical results/ contract
+// bans. Order-insensitive bodies (counting, integer sums, min/max,
+// writes into another map, deletes) are fine, as is the canonical
+// sorted-iteration idiom: a range whose entire body collects keys into
+// a slice (`for k := range m { keys = append(keys, k) }`) is exempt,
+// because the very next thing such code does is sort.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flags order-sensitive work (append, float accumulation, output " +
+		"writes, channel sends, sim event scheduling) inside range-over-map; " +
+		"iterate sorted keys instead",
+	Run: runMapOrder,
+}
+
+// mapOrderWriters are method/function names that emit output in call
+// order: rows written while ranging a map land in random order.
+var mapOrderWriters = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteAll": true, "WriteRow": true, "Print": true, "Printf": true,
+	"Println": true, "Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Encode": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	pass.inspect(func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if isKeyCollection(pass, rs) {
+			return true
+		}
+		if what := firstOrderSensitiveOp(pass, rs.Body); what != "" {
+			pass.Reportf(rs.For, "map iteration order is randomized, but this range %s; iterate sorted keys (collect + sort first), or annotate //perfiso:allow maporder <reason>", what)
+		}
+		return true
+	})
+	return nil
+}
+
+// isKeyCollection recognizes the sorted-iteration prelude: a body that
+// is exactly `keys = append(keys, k)` for the range key k.
+func isKeyCollection(pass *Pass, rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if rs.Value != nil {
+		if v, ok := rs.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return false
+		}
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(pass, call.Fun, "append") || len(call.Args) != 2 {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[arg] != pass.TypesInfo.Defs[key] {
+		return false
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	return ok && lhs.Name == dst.Name
+}
+
+// firstOrderSensitiveOp scans body in source order and describes the
+// first operation whose effect depends on iteration order, or "".
+func firstOrderSensitiveOp(pass *Pass, body *ast.BlockStmt) (what string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			what = "sends on a channel"
+		case *ast.AssignStmt:
+			if op := floatAccumulation(pass, n); op != "" {
+				what = op
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass, n.Fun, "append") {
+				what = "appends to a slice"
+				break
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				name := sel.Sel.Name
+				if schedulesSimEvent(pass, sel) {
+					what = fmt.Sprintf("schedules a sim event (%s)", name)
+				} else if mapOrderWriters[name] || strings.HasPrefix(name, "Schedule") {
+					what = fmt.Sprintf("writes output (%s)", name)
+				}
+			}
+		}
+		return what == ""
+	})
+	return what
+}
+
+// floatAccumulation reports whether as is a floating-point
+// read-modify-write (x += v, or x = x + v), whose rounding makes the
+// final value order-dependent.
+func floatAccumulation(pass *Pass, as *ast.AssignStmt) string {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return ""
+	}
+	t := pass.TypesInfo.TypeOf(as.Lhs[0])
+	if t == nil {
+		return ""
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return ""
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return "accumulates a float (" + as.Tok.String() + ")"
+	case token.ASSIGN:
+		bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.ADD && bin.Op != token.SUB && bin.Op != token.MUL && bin.Op != token.QUO) {
+			return ""
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return ""
+		}
+		for _, side := range []ast.Expr{bin.X, bin.Y} {
+			if id, ok := side.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == pass.TypesInfo.Uses[lhs] && pass.TypesInfo.Uses[id] != nil {
+				return "accumulates a float (x = x " + bin.Op.String() + " ...)"
+			}
+		}
+	}
+	return ""
+}
+
+// schedulesSimEvent reports whether sel is a method call on a type from
+// perfiso/internal/sim (Engine.At/After, Agenda.At, Ticker, ...): the
+// engine stamps seq at schedule time, so scheduling from a map range
+// randomizes the FIFO tie-break.
+func schedulesSimEvent(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	obj := s.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "perfiso/internal/sim"
+}
+
+// isBuiltin reports whether e names the given predeclared function.
+func isBuiltin(pass *Pass, e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

@@ -1,0 +1,74 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowDirective is the comment prefix that suppresses one finding:
+//
+//	//perfiso:allow <analyzer> <reason>
+//
+// The directive suppresses findings from <analyzer> on the line it
+// appears on and on the immediately following line, so both styles
+// work:
+//
+//	start := time.Now() //perfiso:allow walltime shard timing is not simulated
+//
+//	//perfiso:allow walltime shard timing is not simulated
+//	start := time.Now()
+//
+// The reason is mandatory: a suppression without a justification is
+// itself reported as a finding (analyzer "allow"). Unknown analyzer
+// names are reported too, so a typo cannot silently disable a rule.
+const allowDirective = "//perfiso:allow"
+
+// suppressions indexes well-formed allow directives for one file:
+// analyzer name -> set of suppressed lines.
+type suppressions map[string]map[int]bool
+
+// suppressed reports whether analyzer findings on line are covered.
+func (s suppressions) suppressed(analyzer string, line int) bool {
+	return s[analyzer][line]
+}
+
+// parseSuppressions scans a file's comments for allow directives.
+// Malformed directives (missing analyzer, unknown analyzer, or missing
+// reason) are reported through report as findings in their own right
+// and do not suppress anything.
+func parseSuppressions(fset *token.FileSet, f *ast.File, report func(token.Pos, string)) suppressions {
+	sup := suppressions{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowDirective) {
+				continue
+			}
+			rest := c.Text[len(allowDirective):]
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // some other //perfiso:allowX directive
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				report(c.Pos(), "perfiso:allow needs an analyzer name and a reason")
+				continue
+			}
+			name := fields[0]
+			if ByName(name) == nil {
+				report(c.Pos(), "perfiso:allow names unknown analyzer "+name)
+				continue
+			}
+			if len(fields) < 2 {
+				report(c.Pos(), "perfiso:allow "+name+" needs a reason")
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			if sup[name] == nil {
+				sup[name] = map[int]bool{}
+			}
+			sup[name][line] = true
+			sup[name][line+1] = true
+		}
+	}
+	return sup
+}

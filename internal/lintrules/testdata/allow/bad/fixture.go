@@ -1,0 +1,19 @@
+// Package fixture seeds malformed //perfiso:allow directives: they
+// must be reported and must not suppress the finding they sit on.
+package fixture
+
+import "time"
+
+func missingReason() {
+	_ = time.Now() //perfiso:allow walltime
+	// The directive above is missing its reason: both the directive
+	// and the unsuppressed clock read are findings.
+}
+
+func unknownAnalyzer() {
+	_ = time.Now() //perfiso:allow warptime not a real analyzer
+}
+
+func missingEverything() {
+	_ = time.Now() //perfiso:allow
+}

@@ -1,0 +1,28 @@
+// Package fixture seeds globalrand violations against both math/rand
+// generations, plus the tolerated seeded-source constructors.
+package fixture
+
+import (
+	"math/rand"
+
+	v2 "math/rand/v2"
+)
+
+func bad() {
+	_ = rand.Intn(10)                  // want `math/rand\.Intn draws from the process-global source`
+	_ = rand.Float64()                 // want `math/rand\.Float64 draws from the process-global source`
+	rand.Shuffle(3, func(int, int) {}) // want `math/rand\.Shuffle draws from the process-global source`
+	_ = v2.IntN(10)                    // want `math/rand/v2\.IntN draws from the process-global source`
+	_ = v2.Uint64()                    // want `math/rand/v2\.Uint64 draws from the process-global source`
+}
+
+func okSeeded() {
+	r := rand.New(rand.NewSource(42)) // explicit seeded source: tolerated
+	_ = r.Intn(10)                    // method draws on it are fine
+	p := v2.New(v2.NewPCG(1, 2))
+	_ = p.IntN(3)
+}
+
+func suppressed() {
+	_ = rand.Int() //perfiso:allow globalrand fixture exercises suppression
+}

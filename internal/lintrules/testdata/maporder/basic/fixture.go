@@ -1,0 +1,88 @@
+// Package fixture seeds maporder violations (append, float
+// accumulation, output writes, channel sends) alongside the
+// order-insensitive shapes the analyzer must leave alone.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want `appends to a slice`
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	return out
+}
+
+func badFloatCompound(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `accumulates a float`
+		sum += v
+	}
+	return sum
+}
+
+func badFloatExplicit(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want `accumulates a float`
+		sum = sum + v
+	}
+	return sum
+}
+
+func badWrite(m map[string]int, b *strings.Builder) {
+	for k := range m { // want `writes output \(WriteString\)`
+		b.WriteString(k)
+	}
+}
+
+func badSend(m map[string]int, ch chan string) {
+	for k := range m { // want `sends on a channel`
+		ch <- k
+	}
+}
+
+func okKeyCollection(m map[string]int) []string {
+	var keys []string
+	for k := range m { // the canonical sorted-iteration prelude is exempt
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func okIntSum(m map[string]int) int {
+	n := 0
+	for _, v := range m { // integer addition commutes: order-insensitive
+		n += v
+	}
+	return n
+}
+
+func okMapToMap(m, dst map[string]int) {
+	for k, v := range m { // writing distinct keys commutes
+		dst[k] = v
+	}
+}
+
+func okMax(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	//perfiso:allow maporder fixture exercises suppression
+	for k := range m {
+		out = append(out, k+k)
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+// Package fixture seeds the maporder × sim case: scheduling events
+// while ranging a map randomizes the engine's (at, seq) FIFO
+// tie-break even though every event lands at a deterministic time.
+package fixture
+
+import "perfiso/internal/sim"
+
+func badSchedule(e *sim.Engine, m map[string]sim.Time) {
+	for _, t := range m { // want `schedules a sim event \(At\)`
+		e.At(t, func() {})
+	}
+}
+
+func okSortedSchedule(e *sim.Engine, m map[string]sim.Time, keys []string) {
+	for _, k := range keys { // ranging the pre-sorted key slice is fine
+		e.At(m[k], func() {})
+	}
+}

@@ -1,0 +1,32 @@
+// Package fixture seeds nogoroutine violations: go statements and
+// unbuffered channels inside what the harness loads as a
+// cell-execution package.
+package fixture
+
+func badGo(fn func()) {
+	go fn() // want `go statement inside cell-execution code`
+}
+
+func badGoFunc() {
+	go func() {}() // want `go statement inside cell-execution code`
+}
+
+func badChan() chan int {
+	return make(chan int) // want `unbuffered channel inside cell-execution code`
+}
+
+func badChanZero() chan int {
+	return make(chan int, 0) // want `unbuffered channel`
+}
+
+func okBuffered() chan int {
+	return make(chan int, 8) // buffered: a queue, not a handoff
+}
+
+func okMakeSlice() []int {
+	return make([]int, 4) // make on non-channel types is untouched
+}
+
+func suppressed(fn func()) {
+	go fn() //perfiso:allow nogoroutine fixture exercises suppression
+}

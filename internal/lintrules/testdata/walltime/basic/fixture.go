@@ -1,0 +1,36 @@
+// Package fixture seeds walltime violations, legitimate time usage,
+// and both //perfiso:allow placement styles.
+package fixture
+
+import "time"
+
+func bad() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	return time.Since(start)     // want `time\.Since reads the wall clock`
+}
+
+func badWait() {
+	<-time.After(time.Second)        // want `time\.After reads the wall clock`
+	t := time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+	t.Stop()
+}
+
+// Passing the function itself is the sneakiest form of a clock read.
+var nowFn = time.Now // want `time\.Now reads the wall clock`
+
+func okArithmetic() {
+	d := 5 * time.Second // Duration arithmetic never touches the clock
+	_ = d.Seconds()
+	t := time.Unix(0, 0) // explicit construction is deterministic
+	_ = t.Add(d)
+}
+
+func suppressedTrailing() {
+	_ = time.Now() //perfiso:allow walltime fixture exercises trailing suppression
+}
+
+func suppressedPreceding() {
+	//perfiso:allow walltime fixture exercises preceding-line suppression
+	_ = time.Now()
+}

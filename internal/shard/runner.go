@@ -65,9 +65,9 @@ func (r *UnitRunner) RunUnit(id string) (PartialCell, error) {
 	}
 	u := r.units[ui]
 	mc := r.Manifest.Cells[u.Cells[0]]
-	start := time.Now()
+	start := time.Now() //perfiso:allow walltime unit wall time feeds timing.json only
 	v := r.live[u.Cells[0]].Run()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //perfiso:allow walltime unit wall time feeds timing.json only
 	blob, err := json.Marshal(v)
 	if err != nil {
 		return PartialCell{}, fmt.Errorf("shard: encoding %s/%s: %w", mc.Experiment, mc.Cell, err)
@@ -94,7 +94,7 @@ func (r *UnitRunner) RunUnits(ids []string, workers int, onCell func(experiment,
 		err error
 	}
 	var mu sync.Mutex
-	base := time.Now()
+	base := time.Now() //perfiso:allow walltime span timestamps are observability only
 	wrapped := make([]experiments.Cell, len(ids))
 	for i, id := range ids {
 		id := id
@@ -103,7 +103,7 @@ func (r *UnitRunner) RunUnits(ids []string, workers int, onCell func(experiment,
 			return nil, fmt.Errorf("shard: plan references unknown unit %s", id)
 		}
 		wrapped[i] = experiments.Cell{Name: id, Cost: u.Cost, Run: func() any {
-			start := time.Now()
+			start := time.Now() //perfiso:allow walltime span timestamps are observability only
 			pc, err := r.RunUnit(id)
 			if err == nil && tracer != nil {
 				tracer.Add(obs.Span{
@@ -112,12 +112,12 @@ func (r *UnitRunner) RunUnits(ids []string, workers int, onCell func(experiment,
 					Unit:       id,
 					Worker:     worker,
 					StartMs:    float64(start.Sub(base)) / 1e6,
-					DurationMs: time.Since(start).Seconds() * 1e3,
+					DurationMs: time.Since(start).Seconds() * 1e3, //perfiso:allow walltime span timestamps are observability only
 				})
 			}
 			if err == nil && onCell != nil {
 				mu.Lock()
-				onCell(pc.Experiment, pc.Cell, time.Since(start))
+				onCell(pc.Experiment, pc.Cell, time.Since(start)) //perfiso:allow walltime span timestamps are observability only
 				mu.Unlock()
 			}
 			return outcome{pc, err}

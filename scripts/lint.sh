@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# scripts/lint.sh — build and run the perfiso-lint determinism linter
+# over the whole module, exactly as CI's lint job and the nightly run
+# invoke it (no make required). Any findings fail the script.
+#
+# Wall time for the build and the lint pass is reported on stderr so
+# the CI step's budget is visible in the logs.
+#
+#   scripts/lint.sh            # lint ./...
+#   scripts/lint.sh -json      # machine-readable findings
+set -eu
+
+cd "$(dirname "$0")/.."
+
+bin="${PERFISO_LINT_BIN:-$(mktemp -d)/perfiso-lint}"
+
+build_start=$(date +%s)
+go build -o "$bin" ./cmd/perfiso-lint
+build_end=$(date +%s)
+echo "perfiso-lint: built in $((build_end - build_start))s" >&2
+
+lint_start=$(date +%s)
+status=0
+"$bin" "$@" || status=$?
+lint_end=$(date +%s)
+echo "perfiso-lint: linted in $((lint_end - lint_start))s" >&2
+
+exit "$status"
