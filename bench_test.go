@@ -35,6 +35,7 @@ import (
 	"perfiso/internal/isolation"
 	"perfiso/internal/node"
 	"perfiso/internal/obs"
+	"perfiso/internal/report"
 	"perfiso/internal/shard"
 	"perfiso/internal/sim"
 	"perfiso/internal/workload"
@@ -420,6 +421,31 @@ func BenchmarkTraceIO(b *testing.B) {
 		}
 		b.ReportMetric(float64(queries), "records")
 	})
+}
+
+// BenchmarkRenderFigures measures the cost of the whole figure
+// pipeline downstream of the simulator: load the committed test-scale
+// CSVs and render every SVG. This is the marginal cost `-artifacts`
+// adds to a run and what the report subcommand pays end to end.
+func BenchmarkRenderFigures(b *testing.B) {
+	ds, err := report.LoadDir("results/test")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var figs []report.Figure
+	var total int
+	for i := 0; i < b.N; i++ {
+		figs = report.Figures(ds)
+		total = 0
+		for _, f := range figs {
+			total += len(f.SVG)
+		}
+	}
+	if len(figs) == 0 {
+		b.Fatal("no figures rendered")
+	}
+	b.ReportMetric(float64(len(figs)), "figures")
+	b.ReportMetric(float64(total), "svg_bytes")
 }
 
 // BenchmarkEngineThroughput measures raw simulator event throughput —

@@ -85,6 +85,7 @@ import (
 	"perfiso/internal/dispatch"
 	"perfiso/internal/experiments"
 	"perfiso/internal/obs"
+	"perfiso/internal/report"
 	"perfiso/internal/shard"
 	"perfiso/internal/sim"
 )
@@ -110,8 +111,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return serveCmd(rest, stdout, stderr)
 		case "work":
 			return workCmd(rest, stdout, stderr)
+		case "report":
+			return reportCmd(rest, stdout, stderr)
 		default:
-			fmt.Fprintf(stderr, "perfiso-repro: unknown subcommand %q (want run, manifest, merge, serve or work)\n", sub)
+			fmt.Fprintf(stderr, "perfiso-repro: unknown subcommand %q (want run, manifest, merge, serve, work or report)\n", sub)
 			return 2
 		}
 	}
@@ -198,13 +201,33 @@ func writeTrace(dir string, spans []obs.Span) error {
 	return f.Close()
 }
 
-// emitOutputs writes the deterministic artifacts, the timing sidecar
-// and the markdown report, honoring the explicit-flag guards that keep
-// filtered or paper-scale runs from clobbering the committed outputs.
-// spans, when non-empty, lands as trace.jsonl next to timing.json.
+// figureLinks maps rendered figures to their canonical report links.
+// The path is always results/<scale>/figures/<name>.svg regardless of
+// -results, so reports from different artifact directories (or with
+// artifacts disabled) stay byte-identical.
+func figureLinks(scale string, figs []report.Figure) []experiments.FigureLink {
+	links := make([]experiments.FigureLink, len(figs))
+	for i, f := range figs {
+		links[i] = experiments.FigureLink{
+			Name:  f.Name,
+			Title: f.Title,
+			Path:  "results/" + scale + "/figures/" + f.Name + ".svg",
+		}
+	}
+	return links
+}
+
+// emitOutputs writes the deterministic artifacts (including the
+// rendered figures), the timing sidecar and the markdown report,
+// honoring the explicit-flag guards that keep filtered or paper-scale
+// runs from clobbering the committed outputs. spans, when non-empty,
+// lands as trace.jsonl next to timing.json.
 func emitOutputs(res experiments.RunResult, timing experiments.RunTiming, explicit map[string]bool,
-	filterActive bool, resultsDir, reportPath string, spans []obs.Span, stdout, stderr io.Writer) int {
+	filterActive bool, resultsDir, reportPath string, tolerance float64, spans []obs.Span, stdout, stderr io.Writer) int {
 	spec := res.Spec
+	// Figures render in-memory from the run itself so the report embeds
+	// the same links whether or not artifacts are written.
+	figs := report.Figures(report.DatasetOf(res))
 	if resultsDir != "" {
 		if filterActive && !explicit["results"] {
 			fmt.Fprintf(stderr, "perfiso-repro: -run filter active; not overwriting %s/%s (pass -results to force)\n", resultsDir, spec.Name)
@@ -218,8 +241,14 @@ func emitOutputs(res experiments.RunResult, timing experiments.RunTiming, explic
 				fmt.Fprintf(stderr, "perfiso-repro: writing timing: %v\n", err)
 				return 1
 			}
-			fmt.Fprintf(stdout, "wrote %s, %s and %s\n", filepath.Join(dir, "summary.json"),
-				filepath.Join(dir, "cells.csv"), filepath.Join(dir, "timing.json"))
+			if err := report.WriteFigures(dir, figs); err != nil {
+				fmt.Fprintf(stderr, "perfiso-repro: writing figures: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s, %s, %s, %s and %s (%d figures)\n",
+				filepath.Join(dir, "summary.json"), filepath.Join(dir, "cells.csv"),
+				filepath.Join(dir, "series.csv"), filepath.Join(dir, "timing.json"),
+				filepath.Join(dir, "figures"), len(figs))
 			if len(spans) > 0 {
 				if err := writeTrace(dir, spans); err != nil {
 					fmt.Fprintf(stderr, "perfiso-repro: writing trace: %v\n", err)
@@ -239,12 +268,72 @@ func emitOutputs(res experiments.RunResult, timing experiments.RunTiming, explic
 		case spec.Name != "test" && !explicit["report"]:
 			fmt.Fprintf(stderr, "perfiso-repro: -scale %s; not overwriting the test-scale %s (pass -report to force)\n", spec.Name, reportPath)
 		default:
-			if err := os.WriteFile(reportPath, []byte(experiments.RenderMarkdown(res)), 0o644); err != nil {
+			md := experiments.RenderMarkdownWith(res, experiments.ReportOptions{
+				Figures:   figureLinks(spec.Name, figs),
+				Tolerance: tolerance,
+			})
+			if err := os.WriteFile(reportPath, []byte(md), 0o644); err != nil {
 				fmt.Fprintf(stderr, "perfiso-repro: writing report: %v\n", err)
 				return 1
 			}
 			fmt.Fprintf(stdout, "wrote %s\n", reportPath)
 		}
+	}
+	return 0
+}
+
+// reportCmd re-renders the figures (and the report's figure gallery)
+// from the committed CSV artifacts alone — no simulation. Because the
+// CSVs round-trip floats exactly, the bytes match what the original
+// run wrote.
+func reportCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("perfiso-repro report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scaleName := fs.String("scale", "test", `experiment scale: "test" or "paper"`)
+	resultsDir := fs.String("results", "results", "artifact directory holding <scale>/cells.csv and <scale>/series.csv")
+	reportPath := fs.String("report", "RESULTS.md", "report whose figure gallery to refresh (empty disables)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	spec, ok := parseScale(*scaleName, stderr)
+	if !ok {
+		return 2
+	}
+	dir := filepath.Join(*resultsDir, spec.Name)
+	ds, err := report.LoadDir(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+		return 1
+	}
+	figs := report.Figures(ds)
+	if err := report.WriteFigures(dir, figs); err != nil {
+		fmt.Fprintf(stderr, "perfiso-repro: writing figures: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d figures)\n", filepath.Join(dir, "figures"), len(figs))
+
+	if *reportPath != "" {
+		explicit := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if spec.Name != "test" && !explicit["report"] {
+			fmt.Fprintf(stderr, "perfiso-repro: -scale %s; not patching the test-scale %s (pass -report to force)\n", spec.Name, *reportPath)
+			return 0
+		}
+		md, err := os.ReadFile(*reportPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+			return 1
+		}
+		patched, ok := experiments.PatchFigureBlock(string(md), figureLinks(spec.Name, figs))
+		if !ok {
+			fmt.Fprintf(stderr, "perfiso-repro: %s has no figure block to patch — regenerate it with `perfiso-repro -scale %s`\n", *reportPath, spec.Name)
+			return 1
+		}
+		if err := os.WriteFile(*reportPath, []byte(patched), 0o644); err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: writing report: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "patched figure gallery in %s\n", *reportPath)
 	}
 	return 0
 }
@@ -277,6 +366,7 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "cell worker-pool size (0 = GOMAXPROCS)")
 	resultsDir := fs.String("results", "results", "artifact directory (empty disables)")
 	reportPath := fs.String("report", "RESULTS.md", "reproduction report path (empty disables)")
+	tolerance := fs.Float64("tolerance", 0, "relative-error band of the paper-vs-reproduced table (0 = default 0.25); out-of-band rows are flagged")
 	shardSpec := fs.String("shard", "", "execute one shard i/N (zero-based) and write a partial artifact instead of reports")
 	partialPath := fs.String("partial", "", "partial artifact path for -shard (default results/<scale>/shards/shard-<i>-of-<N>.json)")
 	dispatchN := fs.Int("dispatch", 0, "execute via the work-stealing coordinator with N in-process workers (0 = static pool)")
@@ -403,7 +493,7 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 		printRun(res, timing, *tables, stdout)
 		explicit := map[string]bool{}
 		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		return emitOutputs(res, timing, explicit, *runPat != "", *resultsDir, *reportPath, p.Spans, stdout, stderr)
+		return emitOutputs(res, timing, explicit, *runPat != "", *resultsDir, *reportPath, *tolerance, p.Spans, stdout, stderr)
 	}
 
 	// The manifest hash stamps the artifacts' provenance; building it
@@ -431,7 +521,7 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	return emitOutputs(res, timing, explicit, filter != nil, *resultsDir, *reportPath, spans, stdout, stderr)
+	return emitOutputs(res, timing, explicit, filter != nil, *resultsDir, *reportPath, *tolerance, spans, stdout, stderr)
 }
 
 // manifestCmd emits the cell manifest (or a shard plan of it) without
@@ -494,6 +584,7 @@ func mergeCmd(args []string, stdout, stderr io.Writer) int {
 	shardsDir := fs.String("shards", "", "directory holding the shard partials (*.json); positional args name individual partials")
 	resultsDir := fs.String("results", "results", "artifact directory (empty disables)")
 	reportPath := fs.String("report", "RESULTS.md", "reproduction report path (empty disables)")
+	tolerance := fs.Float64("tolerance", 0, "relative-error band of the paper-vs-reproduced table (0 = default 0.25); out-of-band rows are flagged")
 	tables := fs.Bool("tables", false, "print each experiment's table to stdout")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -541,7 +632,7 @@ func mergeCmd(args []string, stdout, stderr io.Writer) int {
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	// Shards run with -trace embed spans in their partials; the merge
 	// reassembles them into the run-wide trace automatically.
-	return emitOutputs(res, timing, explicit, *runPat != "", *resultsDir, *reportPath,
+	return emitOutputs(res, timing, explicit, *runPat != "", *resultsDir, *reportPath, *tolerance,
 		shard.CollectSpans(partials), stdout, stderr)
 }
 
@@ -571,6 +662,7 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 	linger := fs.Duration("linger", 3*time.Second, "keep answering workers this long after the run ends, so their final claim sees done/failed instead of a torn-down socket")
 	resultsDir := fs.String("results", "results", "artifact directory (empty disables)")
 	reportPath := fs.String("report", "RESULTS.md", "reproduction report path (empty disables)")
+	tolerance := fs.Float64("tolerance", 0, "relative-error band of the paper-vs-reproduced table (0 = default 0.25); out-of-band rows are flagged")
 	stats := fs.Bool("stats", false, "record coordinator counters, serve them on /metrics and fold them into timing.json")
 	traceFlag := fs.Bool("trace", false, "collect one span per completed unit and write trace.jsonl next to timing.json")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on -addr")
@@ -715,7 +807,7 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	return emitOutputs(res, timing, explicit, m.Filter != "", *resultsDir, *reportPath, p.Spans, stdout, stderr)
+	return emitOutputs(res, timing, explicit, m.Filter != "", *resultsDir, *reportPath, *tolerance, p.Spans, stdout, stderr)
 }
 
 // workCmd runs claim→heartbeat→upload loops against a coordinator

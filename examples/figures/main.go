@@ -1,0 +1,87 @@
+// Figures: the deterministic figure pipeline end to end, without
+// running the evaluation.
+//
+// The walkthrough has two halves. First it builds a tiny dataset by
+// hand — one scalar bar figure and one time series — and renders it,
+// to show the report API surface: Dataset, Chart, marks, Render.
+// Then it loads the committed test-scale CSVs (results/test/cells.csv
+// and series.csv) and re-renders the full RESULTS.md gallery into
+// -out, which comes out byte-identical to the committed
+// results/test/figures/ because the renderer is a pure function of
+// its input bytes: no timestamps, no map iteration, fixed palette,
+// shortest-form coordinates.
+//
+//	go run ./examples/figures [-out /tmp/perfiso-figures]
+//
+// Run from the repository root so results/test resolves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"perfiso/internal/report"
+)
+
+func main() {
+	out := flag.String("out", filepath.Join(os.TempDir(), "perfiso-figures"), "output directory (figures land in <out>/figures)")
+	flag.Parse()
+
+	// --- Half 1: a dataset built by hand. ---------------------------
+	// Metrics are (experiment, cell, metric) -> value; series are
+	// (experiment, cell) -> named tracks of (t, v) points. Insertion
+	// order never matters: accessors sort, so any ingest order renders
+	// the same bytes.
+	ds := report.NewDataset()
+	ds.AddMetric("demo", "standalone", "p99ms", 12.1)
+	ds.AddMetric("demo", "no-isolation", "p99ms", 310)
+	ds.AddMetric("demo", "perfiso", "p99ms", 12.4)
+	for i := 0; i < 20; i++ {
+		t := float64(i) * 0.5
+		ds.AddSeriesPoint("demo", "perfiso", "alloc_cores", "cores", t, 40+float64(i%3))
+	}
+
+	// A chart can also be assembled directly when the figure spec
+	// table doesn't fit — same renderer, same guarantees.
+	cells := ds.Cells("demo")
+	bar := report.Chart{
+		Title: "demo: P99 by configuration", XLabel: "configuration", YLabel: "P99 (ms)",
+		XCats: cells,
+	}
+	var pts []report.XY
+	for i, c := range cells {
+		v, _ := ds.Metric("demo", c, "p99ms")
+		pts = append(pts, report.XY{X: float64(i), Y: v})
+	}
+	bar.Series = []report.Series{{Name: "P99", Mark: report.MarkLine, Points: pts}}
+	svg := bar.Render()
+	fmt.Printf("hand-built chart: %d bytes of SVG; first line %q\n", len(svg), firstLine(svg))
+
+	// --- Half 2: the committed gallery from the committed CSVs. -----
+	full, err := report.LoadDir(filepath.Join("results", "test"))
+	if err != nil {
+		log.Fatalf("loading results/test (run from the repository root): %v", err)
+	}
+	figs := report.Figures(full)
+	if err := report.WriteFigures(*out, figs); err != nil {
+		log.Fatalf("writing figures: %v", err)
+	}
+	fmt.Printf("rendered %d figures into %s:\n", len(figs), filepath.Join(*out, "figures"))
+	for _, f := range figs {
+		fmt.Printf("  %-28s %s\n", f.Name+".svg", f.Title)
+	}
+	fmt.Println("compare against the committed gallery:")
+	fmt.Printf("  diff -r results/test/figures %s\n", filepath.Join(*out, "figures"))
+}
+
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}

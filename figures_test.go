@@ -1,0 +1,67 @@
+package perfiso_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"perfiso/internal/report"
+)
+
+// TestCommittedFiguresMatchArtifacts re-renders every figure from the
+// committed results/test CSVs and compares byte-for-byte against the
+// committed results/test/figures/*.svg. Any renderer or data change
+// that moves figure bytes fails here until the artifacts are
+// regenerated (go run ./cmd/perfiso-repro run -scale test -artifacts
+// results/test), keeping the committed gallery honest.
+func TestCommittedFiguresMatchArtifacts(t *testing.T) {
+	ds, err := report.LoadDir("results/test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs := report.Figures(ds)
+	if len(figs) == 0 {
+		t.Fatal("no figures rendered from results/test")
+	}
+
+	rendered := map[string][]byte{}
+	for _, f := range figs {
+		rendered[f.Name+".svg"] = f.SVG
+	}
+	figDir := filepath.Join("results", "test", "figures")
+	entries, err := os.ReadDir(figDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".svg" {
+			continue
+		}
+		committed[e.Name()] = true
+		want, err := os.ReadFile(filepath.Join(figDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := rendered[e.Name()]
+		if !ok {
+			t.Errorf("%s is committed but no longer rendered", e.Name())
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: rendered bytes differ from committed figure — regenerate results/test if intentional", e.Name())
+		}
+	}
+	var missing []string
+	for name := range rendered {
+		if !committed[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		t.Errorf("%s is rendered but not committed under %s", name, figDir)
+	}
+}

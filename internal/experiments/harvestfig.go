@@ -104,6 +104,9 @@ type HarvestPoint struct {
 	FailureRequeues int
 	// Placements is the length of the placement log.
 	Placements int
+	// Series carries the cell's captured time series (batch progress
+	// ramps and primary queue pressure vs simulated time).
+	Series []SeriesTrack `json:"Series,omitempty"`
 }
 
 // HarvestFrontier is the three-policy comparison.
@@ -179,6 +182,24 @@ func runHarvestScenarioWith(scale HarvestScale, policy string, feed func(*harves
 		eng.At(sim.Time(scale.FailAt), func() { c.FailMachine(scale.FailRow, scale.FailCol) })
 	}
 	rate := scale.RatePerRow * float64(ccfg.Rows)
+
+	// Per-cell time series: sample the scheduler's progress ramp at
+	// window boundaries across the expected trace span (the harvest
+	// analogue of the Fig. 4 timeline capture). Sampling happens inside
+	// the seeded engine, so the tracks merge byte-identically.
+	traceSpan := sim.Duration(float64(scale.Queries) / rate * float64(sim.Second))
+	smp := newSampler(eng, traceSpan)
+	smp.probe("tasks_completed", "tasks", func(int) float64 {
+		return float64(sched.Stats().TasksCompleted)
+	})
+	smp.probe("tasks_running", "tasks", func(int) float64 {
+		return float64(sched.Stats().TasksRunning)
+	})
+	smp.probe("harvested_cpu_sec", "cpu-sec", func(int) float64 {
+		return sched.Stats().HarvestedCPU.Seconds()
+	})
+	smp.start()
+
 	c.Run(scale.Queries, scale.Warmup, rate, scale.Seed)
 	if err := mgr.StopService(harvest.ServiceName); err != nil {
 		panic(err)
@@ -195,6 +216,7 @@ func runHarvestScenarioWith(scale HarvestScale, policy string, feed func(*harves
 		Preemptions:         st.Preemptions,
 		FailureRequeues:     st.FailureRequeues,
 		Placements:          len(sched.Placements()),
+		Series:              smp.tracks(),
 	}
 	if span > 0 {
 		p.Throughput = float64(st.TasksCompleted) / span.Seconds()

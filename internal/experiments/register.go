@@ -66,7 +66,8 @@ func DefaultRegistry() *Registry {
 		Cells:        func(s ScaleSpec) []Cell { return fig4Cells(s.Single) },
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			f := assembleFig4(results)
-			return f, Report{Table: f.Table(), Rows: singleRows(cells, results)}
+			return f, Report{Table: f.Table(), Rows: singleRows(cells, results),
+				Series: singleSeries(cells, results)}
 		},
 	})
 
@@ -77,7 +78,8 @@ func DefaultRegistry() *Registry {
 		Cells:        func(s ScaleSpec) []Cell { return fig5Cells(s.Single) },
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			f := assembleFig5(results)
-			return f, Report{Table: f.Table(), Rows: singleRows(cells, results)}
+			return f, Report{Table: f.Table(), Rows: singleRows(cells, results),
+				Series: singleSeries(cells, results)}
 		},
 	})
 
@@ -159,7 +161,8 @@ func DefaultRegistry() *Registry {
 				{"max_p99ms", p.MaxP99ms},
 				{"samples", float64(len(p.Samples))},
 			}}}
-			return p, Report{Table: Fig10Table(p, 600), Rows: rows}
+			series := []SeriesRow{{Cell: "production-hour", Tracks: productionSeries(p)}}
+			return p, Report{Table: Fig10Table(p, 600), Rows: rows, Series: series}
 		},
 	})
 
@@ -213,7 +216,8 @@ func DefaultRegistry() *Registry {
 				{"max_p99ms", t.MaxP99ms},
 				{"windows", float64(len(t.Samples))},
 			}}}
-			return t, Report{Table: t.Table(5), Rows: rows}
+			series := []SeriesRow{{Cell: "diurnal", Tracks: t.SeriesTracks()}}
+			return t, Report{Table: t.Table(5), Rows: rows, Series: series}
 		},
 	})
 
@@ -239,10 +243,14 @@ func DefaultRegistry() *Registry {
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			f := assembleHarvestFrontier(s.Harvest, results)
 			rows := make([]Row, len(f.Points))
+			var series []SeriesRow
 			for i, p := range f.Points {
 				rows[i] = Row{Cell: "policy=" + p.Policy, Metrics: harvestPointMetrics(p)}
+				if len(p.Series) > 0 {
+					series = append(series, SeriesRow{Cell: "policy=" + p.Policy, Tracks: p.Series})
+				}
 			}
-			return f, Report{Table: f.Table(), Rows: rows}
+			return f, Report{Table: f.Table(), Rows: rows, Series: series}
 		},
 	})
 
@@ -254,13 +262,15 @@ func DefaultRegistry() *Registry {
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			f := assembleHarvestTraceFrontier(s, cells, results)
 			rows := make([]Row, len(f.Points))
+			var series []SeriesRow
 			for i, p := range f.Points {
-				rows[i] = Row{
-					Cell:    "policy=" + p.Policy + "/src=" + p.Source,
-					Metrics: harvestPointMetrics(p.HarvestPoint),
+				cell := "policy=" + p.Policy + "/src=" + p.Source
+				rows[i] = Row{Cell: cell, Metrics: harvestPointMetrics(p.HarvestPoint)}
+				if len(p.Series) > 0 {
+					series = append(series, SeriesRow{Cell: cell, Tracks: p.Series})
 				}
 			}
-			return f, Report{Table: f.Table(), Rows: rows}
+			return f, Report{Table: f.Table(), Rows: rows, Series: series}
 		},
 	})
 

@@ -117,9 +117,12 @@ type Row struct {
 
 // Report is an experiment's rendered outcome: the human table the
 // figure runners have always printed plus flat rows for artifacts.
+// Series, for experiments that model timelines, carries per-cell time
+// series emitted into series.csv next to the scalar cells.csv.
 type Report struct {
-	Table string
-	Rows  []Row
+	Table  string
+	Rows   []Row
+	Series []SeriesRow
 }
 
 // Experiment is one registered unit of the paper's evaluation: a

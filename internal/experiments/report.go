@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -36,11 +37,12 @@ type jsonArtifact struct {
 
 // WriteArtifacts writes the run's deterministic machine-readable
 // artifacts under dir: summary.json (every cell metric plus the
-// rendered tables) and cells.csv (long-format
-// experiment,cell,metric,value rows). Both are pure functions of the
-// simulation results, so a merged sharded run reproduces them
-// byte-for-byte; wall-clock and worker-count fields live in
-// timing.json (WriteTiming), which carries no such guarantee.
+// rendered tables), cells.csv (long-format
+// experiment,cell,metric,value rows) and series.csv (long-format
+// experiment,cell,series,unit,t,value time-series rows). All are pure
+// functions of the simulation results, so a merged sharded run
+// reproduces them byte-for-byte; wall-clock and worker-count fields
+// live in timing.json (WriteTiming), which carries no such guarantee.
 func WriteArtifacts(dir string, res RunResult) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -75,7 +77,33 @@ func WriteArtifacts(dir string, res RunResult) error {
 	if err := os.WriteFile(filepath.Join(dir, "summary.json"), append(blob, '\n'), 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, "cells.csv"), []byte(csv.String()), 0o644)
+	if err := os.WriteFile(filepath.Join(dir, "cells.csv"), []byte(csv.String()), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "series.csv"), []byte(RenderSeriesCSV(res)), 0o644)
+}
+
+// RenderSeriesCSV renders the run's time-series artifact: one row per
+// sampled point, in experiment → cell → track → time order. Floats
+// use the shortest round-trippable representation, so re-parsing the
+// file reproduces the in-memory values exactly — the property the
+// figure renderer relies on to make CSV-fed and live-run figures
+// byte-identical.
+func RenderSeriesCSV(res RunResult) string {
+	var csv strings.Builder
+	csv.WriteString("experiment,cell,series,unit,t,value\n")
+	for _, e := range res.Experiments {
+		for _, sr := range e.Report.Series {
+			for _, tr := range sr.Tracks {
+				for _, p := range tr.Points {
+					fmt.Fprintf(&csv, "%s,%s,%s,%s,%s,%s\n", e.Name, sr.Cell, tr.Name, tr.Unit,
+						strconv.FormatFloat(p.T, 'g', -1, 64),
+						strconv.FormatFloat(p.V, 'g', -1, 64))
+				}
+			}
+		}
+	}
+	return csv.String()
 }
 
 // ShardTiming records one shard's execution in a merged run.
@@ -228,12 +256,46 @@ func WriteTiming(dir string, t RunTiming) error {
 	return os.WriteFile(filepath.Join(dir, "timing.json"), append(blob, '\n'), 0o644)
 }
 
-// comparison is one paper-vs-reproduced row of the report.
+// comparison is one paper-vs-reproduced row of the report. Rows whose
+// claim reduces to one headline number also carry the numeric pair
+// (PaperVal, GotVal) so the report can print a relative error next to
+// the shape-band Match; rows asserting a shape only (orderings,
+// ranges) leave HasRel unset and show "—".
 type comparison struct {
 	Figure     string
 	Paper      string
 	Reproduced string
 	Match      bool
+	HasRel     bool
+	PaperVal   float64
+	GotVal     float64
+}
+
+// RelErr is |got − paper| / |paper|, the value of the report's
+// relative-error column.
+func (c comparison) RelErr() float64 {
+	if !c.HasRel || c.PaperVal == 0 {
+		return 0
+	}
+	return math.Abs(c.GotVal-c.PaperVal) / math.Abs(c.PaperVal)
+}
+
+// DefaultTolerance is the relative-error band marking a paper-vs-
+// reproduced row out-of-band (⚠) in the report; -tolerance overrides
+// it. It is deliberately loose: the simulator reproduces shapes, not
+// the Bing testbed's absolute numbers.
+const DefaultTolerance = 0.25
+
+// relErrCell renders one row's relative-error column.
+func relErrCell(c comparison, tolerance float64) string {
+	if !c.HasRel {
+		return "—"
+	}
+	cell := fmt.Sprintf("%.0f%%", 100*c.RelErr())
+	if c.RelErr() > tolerance {
+		cell += " ⚠"
+	}
+	return cell
 }
 
 func mark(ok bool) string {
@@ -293,6 +355,7 @@ func comparisons(res RunResult) []comparison {
 				Paper:      paper4,
 				Reproduced: fmt.Sprintf("P99 %.0f× standalone at 2,000 QPS; drops %.0f–%.0f%%", ratio, 100*minDrop, 100*maxDrop),
 				Match:      ratio >= 10 && maxDrop >= 0.03,
+				HasRel:     true, PaperVal: 29, GotVal: ratio,
 			})
 		}
 	}
@@ -361,6 +424,7 @@ func comparisons(res RunResult) []comparison {
 			Paper:      "secondary progress vs unrestricted: blind 62%, cores 45%, cycles 9% (§6.1.4)",
 			Reproduced: fmt.Sprintf("blind %.0f%%, cores %.0f%%, cycles %.0f%%", 100*blind, 100*cores, 100*cycles),
 			Match:      blind > cores && cores > cycles && cycles <= 0.25,
+			HasRel:     true, PaperVal: 0.62, GotVal: blind,
 		})
 	}
 
@@ -371,6 +435,7 @@ func comparisons(res RunResult) []comparison {
 			Reproduced: fmt.Sprintf("%.0f%% → %.0f%% (secondary %.0f%%)", v.StandaloneUsedPct, v.ColocatedUsedPct, v.SecondaryPct),
 			Match: v.StandaloneUsedPct >= 10 && v.StandaloneUsedPct <= 35 &&
 				v.ColocatedUsedPct >= 55 && v.ColocatedUsedPct <= 90,
+			HasRel: true, PaperVal: 66, GotVal: v.ColocatedUsedPct,
 		})
 	}
 
@@ -390,6 +455,7 @@ func comparisons(res RunResult) []comparison {
 			Paper:      "≈70% average CPU over a production hour with a stable tail (§6.3)",
 			Reproduced: fmt.Sprintf("avg CPU %.1f%%, P99 avg %.1f ms / max %.1f ms", v.AvgCPUUsedPct, v.AvgP99ms, v.MaxP99ms),
 			Match:      v.AvgCPUUsedPct >= 60 && v.AvgCPUUsedPct <= 80 && v.MaxP99ms <= 2*v.AvgP99ms,
+			HasRel:     true, PaperVal: 70, GotVal: v.AvgCPUUsedPct,
 		})
 	}
 
@@ -485,11 +551,75 @@ func extensionSummaries(res RunResult) []comparison {
 	return out
 }
 
-// RenderMarkdown renders the reproduction report committed as
-// RESULTS.md. The output is a pure function of the simulation results —
-// no timings, timestamps or host details — so CI can regenerate it and
-// fail on drift.
+// FigureLink is one rendered figure's entry in the report: Name is
+// the file stem, Title the caption, Path the markdown image target.
+// Paths are canonical (results/<scale>/figures/<name>.svg) regardless
+// of where the artifacts were actually written, so reports from
+// different -results directories stay byte-identical.
+type FigureLink struct {
+	Name  string
+	Title string
+	Path  string
+}
+
+// ReportOptions parameterizes RenderMarkdownWith beyond the run
+// itself.
+type ReportOptions struct {
+	// Figures lists the rendered figures to embed, in order.
+	Figures []FigureLink
+	// Tolerance is the relative-error band of the paper-vs-reproduced
+	// table; zero means DefaultTolerance.
+	Tolerance float64
+}
+
+// Figure-block markers: the `report` subcommand re-renders figures
+// from the CSV artifacts alone and splices the block between these
+// markers, byte-identical to a full re-run's render.
+const (
+	figuresBegin = "<!-- figures:begin -->"
+	figuresEnd   = "<!-- figures:end -->"
+)
+
+// RenderFigureBlock renders the marker-delimited figure gallery.
+func RenderFigureBlock(figs []FigureLink) string {
+	var b strings.Builder
+	b.WriteString(figuresBegin + "\n")
+	for _, f := range figs {
+		fmt.Fprintf(&b, "\n### %s\n\n![%s](%s)\n", f.Title, f.Title, f.Path)
+	}
+	b.WriteString("\n" + figuresEnd)
+	return b.String()
+}
+
+// PatchFigureBlock replaces the marker-delimited figure block of an
+// existing report with a freshly rendered one. It reports failure
+// when the markers are missing (a report generated before figures
+// existed, or hand-edited) — the caller should regenerate instead.
+func PatchFigureBlock(md string, figs []FigureLink) (string, bool) {
+	begin := strings.Index(md, figuresBegin)
+	end := strings.Index(md, figuresEnd)
+	if begin < 0 || end < begin {
+		return md, false
+	}
+	return md[:begin] + RenderFigureBlock(figs) + md[end+len(figuresEnd):], true
+}
+
+// RenderMarkdown renders the reproduction report with default options
+// (no figure gallery, DefaultTolerance) — the compatibility form used
+// where only internal consistency matters.
 func RenderMarkdown(res RunResult) string {
+	return RenderMarkdownWith(res, ReportOptions{})
+}
+
+// RenderMarkdownWith renders the reproduction report committed as
+// RESULTS.md. The output is a pure function of the simulation results
+// and options — no timings, timestamps or host details — so CI can
+// regenerate it and fail on drift.
+func RenderMarkdownWith(res RunResult, opts ReportOptions) string {
+	tolerance := opts.Tolerance
+	if tolerance == 0 {
+		tolerance = DefaultTolerance
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "# PerfIso reproduction report (scale: %s)\n\n", res.Spec.Name)
 	b.WriteString(`Generated by ` + "`perfiso-repro`" + ` from the deterministic discrete-event
@@ -534,9 +664,10 @@ manifest it covers.
 
 	if cmps := comparisons(res); len(cmps) > 0 {
 		b.WriteString("## Paper vs reproduced\n\n")
-		b.WriteString("| Figure | Paper | Reproduced | Match |\n|---|---|---|---|\n")
+		fmt.Fprintf(&b, "**Rel. err** compares the row's headline number against the paper's, where\nthe claim reduces to one; values above ±%.0f%% are flagged ⚠ (tune with\n`-tolerance`). Shape-only rows show —.\n\n", 100*tolerance)
+		b.WriteString("| Figure | Paper | Reproduced | Rel. err | Match |\n|---|---|---|---|---|\n")
 		for _, c := range cmps {
-			fmt.Fprintf(&b, "| %s | %s | %s | %s |\n", c.Figure, c.Paper, c.Reproduced, mark(c.Match))
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n", c.Figure, c.Paper, c.Reproduced, relErrCell(c, tolerance), mark(c.Match))
 		}
 		b.WriteString("\n")
 	}
@@ -548,6 +679,18 @@ manifest it covers.
 			fmt.Fprintf(&b, "| %s | %s | %s |\n", c.Figure, c.Paper, c.Reproduced)
 		}
 		b.WriteString("\n")
+	}
+
+	if len(opts.Figures) > 0 {
+		b.WriteString("## Figures\n\n")
+		b.WriteString(`Rendered by the deterministic SVG pipeline (` + "`internal/report`" + `) from
+the committed CSV artifacts — bit-identical across runs, worker counts
+and shard/dispatch merges, and drift-gated by CI like every other
+artifact. Re-render without re-simulating via ` + "`perfiso-repro report`" + `.
+
+`)
+		b.WriteString(RenderFigureBlock(opts.Figures))
+		b.WriteString("\n\n")
 	}
 
 	b.WriteString("## Full tables\n")

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"perfiso/internal/indexserve"
 	"perfiso/internal/isolation"
 	"perfiso/internal/node"
 	"perfiso/internal/sim"
@@ -79,6 +80,10 @@ type SingleResult struct {
 	// BullyProgress is the secondary's CPU-seconds over the measured
 	// window — the paper's "absolute progress" (Fig. 8c).
 	BullyProgress float64
+	// Series carries the cell's captured time series (windowed P99,
+	// queue depth, and — under blind isolation — the governor's core
+	// allocation vs simulated time).
+	Series []SeriesTrack `json:"Series,omitempty"`
 }
 
 // DegradationMs reports latency degradation against a baseline run at
@@ -133,7 +138,36 @@ func RunSingle(qps float64, bully BullyMode, pol isolation.Policy, scale Scale) 
 	client := workload.NewClient(eng, func(q workload.QuerySpec) { n.Server.Submit(q) })
 	client.Replay(trace)
 	last := trace[len(trace)-1].Arrival
+
+	// Per-cell time series: sample the tail, the run queue and (under
+	// blind isolation) the governor's allocation at window boundaries
+	// across the replayed span. The sampler's events are part of the
+	// seeded simulation, so the tracks are bit-identical everywhere the
+	// scalar metrics are.
+	smp := newSampler(eng, last.Sub(0))
+	winLat := stats.NewWindowedLatency(smp.window)
+	prevResponse := n.Server.OnResponse
+	n.Server.OnResponse = func(r indexserve.Response) {
+		winLat.Add(eng.Now(), r.Latency)
+		if prevResponse != nil {
+			prevResponse(r)
+		}
+	}
+	smp.probe("p99_ms", "ms", func(w int) float64 {
+		if h := winLat.Window(w); h != nil && h.Count() > 0 {
+			return h.P99() / float64(sim.Millisecond)
+		}
+		return 0
+	})
+	smp.probe("queued", "threads", func(int) float64 { return float64(n.CPU.QueuedThreads()) })
+	if blind, ok := pol.(*isolation.Blind); ok {
+		gov := blind.Governor()
+		smp.probe("alloc_cores", "cores", func(int) float64 { return float64(gov.Allocated()) })
+	}
+	smp.start()
+
 	eng.Run(last.Add(sim.Duration(cfg.IndexServe.Deadline) + sim.Second))
+	res.Series = smp.tracks()
 
 	res.Latency = n.Server.Latency.Summary()
 	res.Breakdown = n.CPU.Breakdown()

@@ -57,8 +57,12 @@ func (b *TraceBuffer) Len() int {
 	return len(b.spans)
 }
 
-// SortSpans orders spans by start time, breaking ties by
-// experiment, cell, then unit.
+// SortSpans orders spans by start time, breaking ties by experiment,
+// cell, unit, then worker. The worker tiebreak matters for merged
+// traces: partials arrive in whatever order the fleet finished, and
+// retried units can leave same-start same-unit spans from different
+// workers — without it the merged trace.jsonl bytes would depend on
+// arrival order.
 func SortSpans(spans []Span) {
 	sort.Slice(spans, func(i, j int) bool {
 		a, b := spans[i], spans[j]
@@ -71,7 +75,10 @@ func SortSpans(spans []Span) {
 		if a.Cell != b.Cell {
 			return a.Cell < b.Cell
 		}
-		return a.Unit < b.Unit
+		if a.Unit != b.Unit {
+			return a.Unit < b.Unit
+		}
+		return a.Worker < b.Worker
 	})
 }
 

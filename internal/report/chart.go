@@ -1,0 +1,299 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Mark selects how a series is drawn.
+type Mark int
+
+const (
+	// MarkLine connects points in X order with straight segments and
+	// dots the points.
+	MarkLine Mark = iota
+	// MarkStep connects points with step-after segments (the natural
+	// shape for a governor's core allocation).
+	MarkStep
+	// MarkScatter draws points only.
+	MarkScatter
+	// MarkCDF sorts points by X and draws a step-after curve — Y is a
+	// cumulative fraction in [0, 1].
+	MarkCDF
+)
+
+// XY is one chart point.
+type XY struct {
+	X, Y float64
+}
+
+// Series is one named sequence of points drawn with a single mark and
+// palette color (assigned by series index).
+type Series struct {
+	Name   string
+	Mark   Mark
+	Points []XY
+}
+
+// Chart is a renderable figure: axes, ticks, legend and marks. Zero
+// width/height take the package defaults.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	// XCats, when non-empty, makes the x axis ordinal: point X values
+	// index into it and ticks show the category names.
+	XCats []string
+	// FixedY pins the y domain to [YMin, YMax] instead of deriving it
+	// from the data (CDFs pin [0, 1]).
+	FixedY     bool
+	YMin, YMax float64
+	Series     []Series
+}
+
+// Fixed layout constants — part of the byte-stability contract.
+const (
+	defaultWidth  = 640
+	defaultHeight = 360
+	marginTop     = 30
+	marginRight   = 14
+	marginBottom  = 44
+	marginLeft    = 62
+	fontFamily    = "ui-monospace,monospace"
+)
+
+// palette is the fixed series color cycle.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#17becf", "#7f7f7f", "#bcbd22", "#e377c2",
+}
+
+func seriesColor(i int) string { return palette[i%len(palette)] }
+
+// niceStep rounds a raw step up to the nearest 1/2/5 × 10^k.
+func niceStep(raw float64) float64 {
+	if raw <= 0 || math.IsInf(raw, 0) || math.IsNaN(raw) {
+		return 1
+	}
+	exp := math.Floor(math.Log10(raw))
+	base := math.Pow(10, exp)
+	frac := raw / base
+	switch {
+	case frac <= 1:
+		return base
+	case frac <= 2:
+		return 2 * base
+	case frac <= 5:
+		return 5 * base
+	}
+	return 10 * base
+}
+
+// tick is one axis tick: a data value and its label.
+type tick struct {
+	v     float64
+	label string
+}
+
+// niceTicks produces at most n+1 ticks covering [lo, hi] on nice-step
+// multiples. Labels print with the precision the step needs, so
+// accumulated float noise never leaks into a label.
+func niceTicks(lo, hi float64, n int) []tick {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	step := niceStep((hi - lo) / float64(n))
+	decimals := 0
+	if e := math.Floor(math.Log10(step)); e < 0 {
+		decimals = int(-e)
+	}
+	var out []tick
+	for i := math.Ceil(lo/step - 1e-9); i*step <= hi+step*1e-9; i++ {
+		v := i * step
+		out = append(out, tick{v: v, label: strconv.FormatFloat(v, 'f', decimals, 64)})
+	}
+	return out
+}
+
+// domain returns the chart's data ranges, padding degenerate spans.
+func (c Chart) domain() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if len(c.XCats) > 0 {
+		xmin, xmax = -0.5, float64(len(c.XCats))-0.5
+	} else if xmin == xmax {
+		xmin, xmax = xmin-0.5, xmax+0.5
+	}
+	if c.FixedY {
+		ymin, ymax = c.YMin, c.YMax
+	} else {
+		if ymin > 0 && ymin <= 0.25*(ymax-ymin+1) {
+			ymin = 0 // ground near-zero baselines
+		}
+		if ymin == ymax {
+			ymax = ymin + 1
+		}
+		pad := 0.06 * (ymax - ymin)
+		if ymin != 0 {
+			ymin -= pad
+		}
+		ymax += pad
+	}
+	return xmin, xmax, ymin, ymax
+}
+
+// Render serializes the chart. The bytes are a pure function of the
+// struct's fields — see the package documentation for the rules.
+func (c Chart) Render() []byte {
+	wpx, hpx := c.Width, c.Height
+	if wpx <= 0 {
+		wpx = defaultWidth
+	}
+	if hpx <= 0 {
+		hpx = defaultHeight
+	}
+	x0, y0 := float64(marginLeft), float64(marginTop)
+	x1, y1 := float64(wpx-marginRight), float64(hpx-marginBottom)
+	xmin, xmax, ymin, ymax := c.domain()
+	sx := func(v float64) float64 { return x0 + (v-xmin)/(xmax-xmin)*(x1-x0) }
+	sy := func(v float64) float64 { return y1 - (v-ymin)/(ymax-ymin)*(y1-y0) }
+
+	w := &svgWriter{}
+	w.open("svg",
+		"xmlns", "http://www.w3.org/2000/svg",
+		"width", strconv.Itoa(wpx),
+		"height", strconv.Itoa(hpx),
+		"viewBox", fmt.Sprintf("0 0 %d %d", wpx, hpx),
+		"font-family", fontFamily,
+		"font-size", "11")
+	w.element("rect", "x", "0", "y", "0",
+		"width", strconv.Itoa(wpx), "height", strconv.Itoa(hpx), "fill", "#ffffff")
+	w.text(c.Title, "x", fmtCoord(float64(wpx)/2), "y", "18",
+		"text-anchor", "middle", "font-size", "13", "fill", "#111111")
+
+	// Gridlines + y ticks.
+	for _, t := range niceTicks(ymin, ymax, 6) {
+		y := sy(t.v)
+		if y < y0-0.01 || y > y1+0.01 {
+			continue
+		}
+		w.element("line", "x1", fmtCoord(x0), "y1", fmtCoord(y),
+			"x2", fmtCoord(x1), "y2", fmtCoord(y),
+			"stroke", "#e6e6e6", "stroke-width", "1")
+		w.text(t.label, "x", fmtCoord(x0-6), "y", fmtCoord(y+3.5),
+			"text-anchor", "end", "fill", "#444444")
+	}
+
+	// X ticks: ordinal categories or nice numbers.
+	if len(c.XCats) > 0 {
+		for i, cat := range c.XCats {
+			x := sx(float64(i))
+			w.element("line", "x1", fmtCoord(x), "y1", fmtCoord(y1),
+				"x2", fmtCoord(x), "y2", fmtCoord(y1+4),
+				"stroke", "#999999", "stroke-width", "1")
+			w.text(cat, "x", fmtCoord(x), "y", fmtCoord(y1+16),
+				"text-anchor", "middle", "fill", "#444444")
+		}
+	} else {
+		for _, t := range niceTicks(xmin, xmax, 7) {
+			x := sx(t.v)
+			if x < x0-0.01 || x > x1+0.01 {
+				continue
+			}
+			w.element("line", "x1", fmtCoord(x), "y1", fmtCoord(y1),
+				"x2", fmtCoord(x), "y2", fmtCoord(y1+4),
+				"stroke", "#999999", "stroke-width", "1")
+			w.text(t.label, "x", fmtCoord(x), "y", fmtCoord(y1+16),
+				"text-anchor", "middle", "fill", "#444444")
+		}
+	}
+
+	// Plot frame and axis labels.
+	w.element("rect", "x", fmtCoord(x0), "y", fmtCoord(y0),
+		"width", fmtCoord(x1-x0), "height", fmtCoord(y1-y0),
+		"fill", "none", "stroke", "#999999", "stroke-width", "1")
+	if c.XLabel != "" {
+		w.text(c.XLabel, "x", fmtCoord((x0+x1)/2), "y", fmtCoord(float64(hpx)-10),
+			"text-anchor", "middle", "fill", "#111111")
+	}
+	if c.YLabel != "" {
+		yc := (y0 + y1) / 2
+		w.text(c.YLabel, "x", "14", "y", fmtCoord(yc),
+			"text-anchor", "middle", "fill", "#111111",
+			"transform", fmt.Sprintf("rotate(-90 14 %s)", fmtCoord(yc)))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := seriesColor(si)
+		pts := s.Points
+		if s.Mark == MarkCDF {
+			pts = append([]XY(nil), pts...)
+			sort.Slice(pts, func(a, b int) bool { return pts[a].X < pts[b].X })
+		}
+		if (s.Mark == MarkLine || s.Mark == MarkStep || s.Mark == MarkCDF) && len(pts) > 1 {
+			d := "M" + fmtCoord(sx(pts[0].X)) + " " + fmtCoord(sy(pts[0].Y))
+			for i := 1; i < len(pts); i++ {
+				if s.Mark == MarkStep || s.Mark == MarkCDF {
+					d += " H" + fmtCoord(sx(pts[i].X))
+					d += " V" + fmtCoord(sy(pts[i].Y))
+				} else {
+					d += " L" + fmtCoord(sx(pts[i].X)) + " " + fmtCoord(sy(pts[i].Y))
+				}
+			}
+			w.element("path", "d", d, "fill", "none",
+				"stroke", color, "stroke-width", "1.5")
+		}
+		r := "2.5"
+		if s.Mark == MarkScatter {
+			r = "3.5"
+		}
+		for _, p := range pts {
+			w.element("circle", "cx", fmtCoord(sx(p.X)), "cy", fmtCoord(sy(p.Y)),
+				"r", r, "fill", color)
+		}
+	}
+
+	// Legend: top-right inside the plot, one row per named series.
+	named := 0
+	for _, s := range c.Series {
+		if s.Name != "" {
+			named++
+		}
+	}
+	if named > 0 {
+		row := 0
+		for si, s := range c.Series {
+			if s.Name == "" {
+				continue
+			}
+			ly := y0 + 14 + float64(row)*15
+			lx := x1 - 10
+			w.element("line", "x1", fmtCoord(lx-16), "y1", fmtCoord(ly-3.5),
+				"x2", fmtCoord(lx-4), "y2", fmtCoord(ly-3.5),
+				"stroke", seriesColor(si), "stroke-width", "3")
+			w.text(s.Name, "x", fmtCoord(lx-20), "y", fmtCoord(ly),
+				"text-anchor", "end", "fill", "#333333")
+			row++
+		}
+	}
+
+	w.close("svg")
+	return w.bytes()
+}

@@ -1,0 +1,353 @@
+package report
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Figure is one rendered chart: Name is the artifact file stem
+// (figures/<Name>.svg), Title the human caption.
+type Figure struct {
+	Name  string
+	Title string
+	SVG   []byte
+}
+
+// figureSpec maps one registered experiment's data onto a chart. The
+// builder returns false when the dataset lacks the experiment (e.g. a
+// filtered run), which simply drops the figure.
+type figureSpec struct {
+	name  string
+	title string
+	build func(ds *Dataset) (Chart, bool)
+}
+
+// specs is the fixed figure list — the paper's Figs. 4–10 plus the
+// repo's extensions, in a stable order that never depends on the
+// dataset.
+func specs() []figureSpec {
+	return []figureSpec{
+		{"fig4-p99-series", "Fig. 4 — windowed P99 under unrestricted secondaries", fig4Series},
+		{"fig4-cdf", "Fig. 4 — latency distribution, standalone vs bullies", fig4CDF},
+		{"fig5-latency", "Fig. 5 — P99 vs load under blind isolation", latencyVsQPS("fig5")},
+		{"fig5-alloc", "Fig. 5 — blind governor core allocation over time", fig5Alloc},
+		{"fig6-latency", "Fig. 6 — P99 vs load under static core restriction", latencyVsQPS("fig6")},
+		{"fig7-latency", "Fig. 7 — P99 vs load under cycle caps", latencyVsQPS("fig7")},
+		{"fig8-p99", "Fig. 8 — P99 latency by isolation technique", fig8Bar("p99ms", "P99 (ms)")},
+		{"fig8-progress", "Fig. 8 — secondary progress by isolation technique", fig8Bar("bully_progress", "secondary progress (work units)")},
+		{"fig9-tails", "Fig. 9 — per-layer cluster P99 by scenario", fig9Tails},
+		{"fig10-utilization", "Fig. 10 — production-hour CPU utilization (fluid model)", utilization("fig10", "production-hour")},
+		{"fig10-p99", "Fig. 10 — production-hour P99 (fluid model)", seriesLine("fig10", "production-hour", "p99_ms", "P99 (ms)")},
+		{"timeline-utilization", "Timeline — DES cross-check CPU utilization", utilization("timeline", "diurnal")},
+		{"timeline-p99", "Timeline — DES cross-check P99", seriesLine("timeline", "diurnal", "p99_ms", "P99 (ms)")},
+		{"harvest-frontier", "Harvest frontier — batch throughput vs primary P99", frontier("harvest-frontier")},
+		{"harvest-progress", "Harvest frontier — batch completions over time", harvestProgress},
+		{"harvest-trace-frontier", "Trace-replay frontier — synthetic vs replayed backlog", frontier("harvest-trace-frontier")},
+		{"ablation-buffer", "Ablation — buffer cores vs tail and harvest", ablation("ablation-buffer", "buffer")},
+		{"ablation-poll", "Ablation — governor poll cadence vs tail and harvest", ablation("ablation-poll", "poll")},
+		{"ablation-holdoff", "Ablation — grow holdoff vs tail and harvest", ablation("ablation-holdoff", "holdoff")},
+	}
+}
+
+// Figures renders every spec the dataset can feed, in spec order.
+func Figures(ds *Dataset) []Figure {
+	var out []Figure
+	for _, sp := range specs() {
+		c, ok := sp.build(ds)
+		if !ok {
+			continue
+		}
+		c.Title = sp.title
+		out = append(out, Figure{Name: sp.name, Title: sp.title, SVG: c.Render()})
+	}
+	return out
+}
+
+// splitQPS parses the repo's sweep cell convention
+// "<policy>/qps=<load>" ("blind=8/qps=4000").
+func splitQPS(cell string) (policy string, qps float64, ok bool) {
+	i := strings.LastIndex(cell, "/qps=")
+	if i < 0 {
+		return "", 0, false
+	}
+	v, err := strconv.ParseFloat(cell[i+len("/qps="):], 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return cell[:i], v, true
+}
+
+// paramValue parses "<param>=<number>[ms][/...]" cell names for
+// numeric ordering of ablation sweeps.
+func paramValue(cell, param string) (float64, bool) {
+	rest, found := strings.CutPrefix(cell, param+"=")
+	if !found {
+		return 0, false
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	rest = strings.TrimSuffix(rest, "ms")
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// fig4Series plots each Fig. 4 cell's windowed P99 track.
+func fig4Series(ds *Dataset) (Chart, bool) {
+	var series []Series
+	for _, cell := range ds.SeriesCells("fig4") {
+		tr, ok := ds.Track("fig4", cell, "p99_ms")
+		if !ok || len(tr.Points) == 0 {
+			continue
+		}
+		var pts []XY
+		for _, p := range tr.Points {
+			pts = append(pts, XY{p.T, p.V})
+		}
+		series = append(series, Series{Name: cell, Mark: MarkLine, Points: pts})
+	}
+	return Chart{XLabel: "simulated time (s)", YLabel: "windowed P99 (ms)", Series: series},
+		len(series) > 0
+}
+
+// fig4CDF approximates each cell's latency distribution from its
+// committed percentile metrics.
+func fig4CDF(ds *Dataset) (Chart, bool) {
+	quantiles := []struct {
+		metric string
+		frac   float64
+	}{{"p50ms", 0.50}, {"p95ms", 0.95}, {"p99ms", 0.99}}
+	var series []Series
+	for _, cell := range ds.Cells("fig4") {
+		var pts []XY
+		for _, q := range quantiles {
+			if v, ok := ds.Metric("fig4", cell, q.metric); ok {
+				pts = append(pts, XY{v, q.frac})
+			}
+		}
+		if len(pts) == len(quantiles) {
+			series = append(series, Series{Name: cell, Mark: MarkCDF, Points: pts})
+		}
+	}
+	return Chart{XLabel: "latency (ms)", YLabel: "fraction of queries",
+		FixedY: true, YMin: 0, YMax: 1, Series: series}, len(series) > 0
+}
+
+// latencyVsQPS plots P99 against load, one line per policy prefix —
+// the shape of the paper's Figs. 5–7 panels.
+func latencyVsQPS(exp string) func(*Dataset) (Chart, bool) {
+	return func(ds *Dataset) (Chart, bool) {
+		byPolicy := map[string][]XY{}
+		var policies []string
+		for _, cell := range ds.Cells(exp) {
+			policy, qps, ok := splitQPS(cell)
+			if !ok {
+				continue
+			}
+			p99, ok := ds.Metric(exp, cell, "p99ms")
+			if !ok {
+				continue
+			}
+			if _, seen := byPolicy[policy]; !seen {
+				policies = append(policies, policy)
+			}
+			byPolicy[policy] = append(byPolicy[policy], XY{qps, p99})
+		}
+		// policies inherits Cells' sorted order; points within a policy
+		// inherit the cell sort, which orders qps lexically — re-sort
+		// numerically.
+		var series []Series
+		for _, policy := range policies {
+			pts := byPolicy[policy]
+			sort.SliceStable(pts, func(a, b int) bool { return pts[a].X < pts[b].X })
+			series = append(series, Series{Name: policy, Mark: MarkLine, Points: pts})
+		}
+		return Chart{XLabel: "load (QPS)", YLabel: "P99 (ms)", Series: series}, len(series) > 0
+	}
+}
+
+// fig5Alloc plots the blind governor's core-allocation steps for every
+// Fig. 5 cell that captured one.
+func fig5Alloc(ds *Dataset) (Chart, bool) {
+	var series []Series
+	for _, cell := range ds.SeriesCells("fig5") {
+		tr, ok := ds.Track("fig5", cell, "alloc_cores")
+		if !ok || len(tr.Points) == 0 {
+			continue
+		}
+		var pts []XY
+		for _, p := range tr.Points {
+			pts = append(pts, XY{p.T, p.V})
+		}
+		series = append(series, Series{Name: cell, Mark: MarkStep, Points: pts})
+	}
+	return Chart{XLabel: "simulated time (s)", YLabel: "cores granted to secondary", Series: series},
+		len(series) > 0
+}
+
+// fig8Cats is the paper's fixed bar order.
+var fig8Cats = []string{"standalone", "no-isolation", "blind", "cores", "cycles"}
+
+// fig8Bar plots one metric across the five isolation techniques.
+func fig8Bar(metric, ylabel string) func(*Dataset) (Chart, bool) {
+	return func(ds *Dataset) (Chart, bool) {
+		var pts []XY
+		for i, cell := range fig8Cats {
+			v, ok := ds.Metric("fig8", cell, metric)
+			if !ok {
+				return Chart{}, false
+			}
+			pts = append(pts, XY{float64(i), v})
+		}
+		return Chart{XLabel: "isolation technique", YLabel: ylabel, XCats: fig8Cats,
+			Series: []Series{{Mark: MarkLine, Points: pts}}}, true
+	}
+}
+
+// fig9Tails plots each latency layer's P99 across the three cluster
+// scenarios.
+func fig9Tails(ds *Dataset) (Chart, bool) {
+	cats := []string{"standalone", "cpu-bound", "disk-bound"}
+	layers := []string{"server", "mla", "tla"}
+	var series []Series
+	for _, layer := range layers {
+		var pts []XY
+		for i, cell := range cats {
+			v, ok := ds.Metric("fig9", cell, layer+"_p99ms")
+			if !ok {
+				return Chart{}, false
+			}
+			pts = append(pts, XY{float64(i), v})
+		}
+		series = append(series, Series{Name: layer, Mark: MarkLine, Points: pts})
+	}
+	return Chart{XLabel: "scenario", YLabel: "P99 (ms)", XCats: cats, Series: series}, true
+}
+
+// utilization plots a timeline cell's CPU-used and secondary-share
+// tracks on one percent axis.
+func utilization(exp, cell string) func(*Dataset) (Chart, bool) {
+	return func(ds *Dataset) (Chart, bool) {
+		var series []Series
+		for _, spec := range []struct{ track, label string }{
+			{"cpu_used_pct", "CPU used"}, {"sec_pct", "secondary share"},
+		} {
+			tr, ok := ds.Track(exp, cell, spec.track)
+			if !ok || len(tr.Points) == 0 {
+				continue
+			}
+			var pts []XY
+			for _, p := range tr.Points {
+				pts = append(pts, XY{p.T, p.V})
+			}
+			series = append(series, Series{Name: spec.label, Mark: MarkLine, Points: pts})
+		}
+		return Chart{XLabel: "simulated time (s)", YLabel: "CPU (%)",
+			FixedY: true, YMin: 0, YMax: 100, Series: series}, len(series) > 0
+	}
+}
+
+// seriesLine plots one track of one cell.
+func seriesLine(exp, cell, track, ylabel string) func(*Dataset) (Chart, bool) {
+	return func(ds *Dataset) (Chart, bool) {
+		tr, ok := ds.Track(exp, cell, track)
+		if !ok || len(tr.Points) == 0 {
+			return Chart{}, false
+		}
+		var pts []XY
+		for _, p := range tr.Points {
+			pts = append(pts, XY{p.T, p.V})
+		}
+		return Chart{XLabel: "simulated time (s)", YLabel: ylabel,
+			Series: []Series{{Mark: MarkLine, Points: pts}}}, true
+	}
+}
+
+// frontier scatters each policy cell's batch throughput against its
+// primary P99 — up and to the left wins.
+func frontier(exp string) func(*Dataset) (Chart, bool) {
+	return func(ds *Dataset) (Chart, bool) {
+		var series []Series
+		for _, cell := range ds.Cells(exp) {
+			x, okx := ds.Metric(exp, cell, "tasks_per_sec")
+			y, oky := ds.Metric(exp, cell, "server_p99ms")
+			if !okx || !oky {
+				continue
+			}
+			series = append(series, Series{Name: cell, Mark: MarkScatter, Points: []XY{{x, y}}})
+		}
+		return Chart{XLabel: "batch tasks per second", YLabel: "server P99 (ms)", Series: series},
+			len(series) > 0
+	}
+}
+
+// harvestProgress plots each policy's completed-tasks ramp.
+func harvestProgress(ds *Dataset) (Chart, bool) {
+	var series []Series
+	for _, cell := range ds.SeriesCells("harvest-frontier") {
+		tr, ok := ds.Track("harvest-frontier", cell, "tasks_completed")
+		if !ok || len(tr.Points) == 0 {
+			continue
+		}
+		var pts []XY
+		for _, p := range tr.Points {
+			pts = append(pts, XY{p.T, p.V})
+		}
+		series = append(series, Series{Name: cell, Mark: MarkStep, Points: pts})
+	}
+	return Chart{XLabel: "simulated time (s)", YLabel: "batch tasks completed", Series: series},
+		len(series) > 0
+}
+
+// ablation plots P99 and harvested secondary share across one
+// parameter sweep, standalone baseline first then numeric order.
+func ablation(exp, param string) func(*Dataset) (Chart, bool) {
+	return func(ds *Dataset) (Chart, bool) {
+		type cat struct {
+			cell  string
+			label string
+			v     float64
+		}
+		var cats []cat
+		for _, cell := range ds.Cells(exp) {
+			label := cell
+			if i := strings.IndexByte(cell, '/'); i >= 0 {
+				label = cell[:i]
+			}
+			if strings.HasPrefix(cell, "standalone") {
+				cats = append(cats, cat{cell, "alone", -1})
+				continue
+			}
+			if v, ok := paramValue(cell, param); ok {
+				cats = append(cats, cat{cell, label, v})
+			}
+		}
+		if len(cats) == 0 {
+			return Chart{}, false
+		}
+		sort.SliceStable(cats, func(a, b int) bool {
+			if cats[a].v != cats[b].v {
+				return cats[a].v < cats[b].v
+			}
+			return cats[a].label < cats[b].label
+		})
+		var labels []string
+		p99 := Series{Name: "P99 (ms)", Mark: MarkLine}
+		sec := Series{Name: "secondary CPU (%)", Mark: MarkLine}
+		for i, c := range cats {
+			labels = append(labels, c.label)
+			if v, ok := ds.Metric(exp, c.cell, "p99ms"); ok {
+				p99.Points = append(p99.Points, XY{float64(i), v})
+			}
+			if v, ok := ds.Metric(exp, c.cell, "secondary_pct"); ok {
+				sec.Points = append(sec.Points, XY{float64(i), v})
+			}
+		}
+		return Chart{XLabel: param, YLabel: "P99 (ms) / secondary CPU (%)", XCats: labels,
+			Series: []Series{p99, sec}}, len(p99.Points) > 0
+	}
+}

@@ -1,0 +1,39 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteFigures writes rendered figures into dir/figures/<name>.svg
+// and prunes stale .svg files left from earlier figure lists, so the
+// directory is exactly the rendered set — CI diffs it byte-for-byte
+// against the committed copy.
+func WriteFigures(dir string, figs []Figure) error {
+	figDir := filepath.Join(dir, "figures")
+	if err := os.MkdirAll(figDir, 0o755); err != nil {
+		return err
+	}
+	keep := map[string]bool{}
+	for _, f := range figs {
+		name := f.Name + ".svg"
+		keep[name] = true
+		if err := os.WriteFile(filepath.Join(figDir, name), f.SVG, 0o644); err != nil {
+			return err
+		}
+	}
+	entries, err := os.ReadDir(figDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".svg") || keep[e.Name()] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(figDir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}

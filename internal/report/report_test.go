@@ -1,0 +1,280 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"perfiso/internal/experiments"
+)
+
+// markCharts is the fixed chart-per-mark fixture set behind the golden
+// byte tests — small enough to eyeball, covering every mark plus the
+// ordinal-axis and fixed-domain code paths.
+func markCharts() map[string]Chart {
+	line := []XY{{0, 2.5}, {1, 4}, {2, 3.25}, {3, 8}}
+	return map[string]Chart{
+		"line": {Title: "line", XLabel: "x", YLabel: "y",
+			Series: []Series{{Name: "a", Mark: MarkLine, Points: line},
+				{Name: "b", Mark: MarkLine, Points: []XY{{0, 1}, {1.5, 2}, {3, 1.5}}}}},
+		"step": {Title: "step", XLabel: "t (s)", YLabel: "cores",
+			Series: []Series{{Name: "alloc", Mark: MarkStep, Points: []XY{{0, 40}, {1, 44}, {2, 41}, {4, 46}}}}},
+		"scatter": {Title: "scatter", XLabel: "throughput", YLabel: "p99",
+			Series: []Series{{Name: "p1", Mark: MarkScatter, Points: []XY{{1.5, 10}}},
+				{Name: "p2", Mark: MarkScatter, Points: []XY{{2.25, 12.5}}}}},
+		"cdf": {Title: "cdf", XLabel: "latency (ms)", YLabel: "fraction",
+			FixedY: true, YMin: 0, YMax: 1,
+			// Points deliberately unsorted: MarkCDF must sort by X itself.
+			Series: []Series{{Name: "cell", Mark: MarkCDF, Points: []XY{{9, 0.99}, {2, 0.5}, {5, 0.95}}}}},
+		"ordinal": {Title: "ordinal", XLabel: "technique", YLabel: "ms",
+			XCats:  []string{"standalone", "blind", "cores"},
+			Series: []Series{{Mark: MarkLine, Points: []XY{{0, 10}, {1, 11}, {2, 14}}}}},
+	}
+}
+
+// TestGoldenMarks locks every mark type's exact output bytes. Run
+// with UPDATE_GOLDENS=1 to regenerate testdata after an intentional
+// renderer change.
+func TestGoldenMarks(t *testing.T) {
+	for name, c := range markCharts() {
+		t.Run(name, func(t *testing.T) {
+			got := c.Render()
+			path := filepath.Join("testdata", name+".svg")
+			if os.Getenv("UPDATE_GOLDENS") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with UPDATE_GOLDENS=1 go test ./internal/report)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: rendered bytes differ from golden %s (lengths %d vs %d); if the change is intentional regenerate with UPDATE_GOLDENS=1", name, path, len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestRenderRepeatable double-renders to catch any writer state leak.
+func TestRenderRepeatable(t *testing.T) {
+	for name, c := range markCharts() {
+		if !bytes.Equal(c.Render(), c.Render()) {
+			t.Errorf("%s: two renders of the same chart differ", name)
+		}
+	}
+}
+
+// sampleInserts is a dataset as a flat list of insert operations, so a
+// test can replay it in any order.
+type insert struct {
+	metric              bool
+	exp, cell, name, un string
+	t, v                float64
+}
+
+func sampleInserts() []insert {
+	return []insert{
+		{metric: true, exp: "fig8", cell: "standalone", name: "p99ms", v: 10},
+		{metric: true, exp: "fig8", cell: "no-isolation", name: "p99ms", v: 290},
+		{metric: true, exp: "fig8", cell: "blind", name: "p99ms", v: 11},
+		{metric: true, exp: "fig8", cell: "cores", name: "p99ms", v: 14},
+		{metric: true, exp: "fig8", cell: "cycles", name: "p99ms", v: 40},
+		{metric: true, exp: "fig8", cell: "standalone", name: "bully_progress", v: 0},
+		{metric: true, exp: "fig8", cell: "no-isolation", name: "bully_progress", v: 100},
+		{metric: true, exp: "fig8", cell: "blind", name: "bully_progress", v: 62},
+		{metric: true, exp: "fig8", cell: "cores", name: "bully_progress", v: 45},
+		{metric: true, exp: "fig8", cell: "cycles", name: "bully_progress", v: 9},
+		{metric: true, exp: "fig5", cell: "blind=8/qps=2000", name: "p99ms", v: 10.5},
+		{metric: true, exp: "fig5", cell: "blind=8/qps=4000", name: "p99ms", v: 12},
+		{metric: true, exp: "fig5", cell: "standalone/qps=2000", name: "p99ms", v: 10},
+		{metric: true, exp: "fig5", cell: "standalone/qps=4000", name: "p99ms", v: 11},
+		{exp: "fig4", cell: "bully=high/qps=2000", name: "p99_ms", un: "ms", t: 1, v: 250},
+		{exp: "fig4", cell: "bully=high/qps=2000", name: "p99_ms", un: "ms", t: 2, v: 300},
+		{exp: "fig4", cell: "bully=high/qps=2000", name: "p99_ms", un: "ms", t: 3, v: 280},
+		{exp: "fig4", cell: "standalone/qps=2000", name: "p99_ms", un: "ms", t: 1, v: 10},
+		{exp: "fig4", cell: "standalone/qps=2000", name: "p99_ms", un: "ms", t: 2, v: 10.5},
+		{exp: "fig4", cell: "standalone/qps=2000", name: "p99_ms", un: "ms", t: 3, v: 9.75},
+		{exp: "fig5", cell: "blind=8/qps=4000", name: "alloc_cores", un: "cores", t: 1, v: 40},
+		{exp: "fig5", cell: "blind=8/qps=4000", name: "alloc_cores", un: "cores", t: 2, v: 44},
+	}
+}
+
+func datasetFrom(ins []insert) *Dataset {
+	d := NewDataset()
+	for _, in := range ins {
+		if in.metric {
+			d.AddMetric(in.exp, in.cell, in.name, in.v)
+		} else {
+			d.AddSeriesPoint(in.exp, in.cell, in.name, in.un, in.t, in.v)
+		}
+	}
+	return d
+}
+
+// TestFiguresInsertionOrderIndependent is the determinism property
+// test: the same data inserted forward, reversed, and interleaved must
+// render byte-identical figures.
+func TestFiguresInsertionOrderIndependent(t *testing.T) {
+	base := sampleInserts()
+	reversed := make([]insert, len(base))
+	for i, in := range base {
+		reversed[len(base)-1-i] = in
+	}
+	// Deterministic shuffle: odd indices first, then even.
+	var shuffled []insert
+	for i := 1; i < len(base); i += 2 {
+		shuffled = append(shuffled, base[i])
+	}
+	for i := 0; i < len(base); i += 2 {
+		shuffled = append(shuffled, base[i])
+	}
+
+	want := Figures(datasetFrom(base))
+	if len(want) == 0 {
+		t.Fatal("sample dataset rendered no figures")
+	}
+	for label, ins := range map[string][]insert{"reversed": reversed, "interleaved": shuffled} {
+		got := Figures(datasetFrom(ins))
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d figures, want %d", label, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Name != want[i].Name || !bytes.Equal(got[i].SVG, want[i].SVG) {
+				t.Errorf("%s: figure %s differs from insertion-order baseline", label, want[i].Name)
+			}
+		}
+	}
+}
+
+// TestLoadDirMatchesDatasetOf is the CSV round-trip equivalence the
+// `report` subcommand relies on: figures rendered from a written-out
+// artifact directory must equal figures rendered from the live run.
+func TestLoadDirMatchesDatasetOf(t *testing.T) {
+	res := experiments.RunResult{
+		Spec: experiments.ScaleSpec{Name: "unit"},
+		Experiments: []experiments.ExperimentResult{{
+			Name: "fig8",
+			Report: experiments.Report{
+				Rows: []experiments.Row{
+					{Cell: "standalone", Metrics: []experiments.Metric{{Name: "p99ms", Value: 10.030303030303031}, {Name: "bully_progress", Value: 0}}},
+					{Cell: "no-isolation", Metrics: []experiments.Metric{{Name: "p99ms", Value: 290.125}, {Name: "bully_progress", Value: 101.5}}},
+					{Cell: "blind", Metrics: []experiments.Metric{{Name: "p99ms", Value: 11.25}, {Name: "bully_progress", Value: 63.7}}},
+					{Cell: "cores", Metrics: []experiments.Metric{{Name: "p99ms", Value: 14.0625}, {Name: "bully_progress", Value: 45.1}}},
+					{Cell: "cycles", Metrics: []experiments.Metric{{Name: "p99ms", Value: 40.99999999999999}, {Name: "bully_progress", Value: 9.25}}},
+				},
+			},
+		}, {
+			Name: "fig4",
+			Report: experiments.Report{
+				Series: []experiments.SeriesRow{{
+					Cell: "bully=high/qps=2000",
+					Tracks: []experiments.SeriesTrack{{
+						Name: "p99_ms", Unit: "ms",
+						Points: []experiments.SeriesPoint{{T: 0.2999999999999997, V: 250.1}, {T: 0.6, V: 300.330033}},
+					}},
+				}},
+			},
+		}},
+	}
+	dir := t.TempDir()
+	if err := experiments.WriteArtifacts(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Figures(DatasetOf(res))
+	got := Figures(loaded)
+	if len(want) == 0 {
+		t.Fatal("live dataset rendered no figures")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("loaded dataset rendered %d figures, live rendered %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || !bytes.Equal(got[i].SVG, want[i].SVG) {
+			t.Errorf("figure %s: CSV-loaded bytes differ from live bytes", want[i].Name)
+		}
+	}
+}
+
+// TestLoadDirMissingSeries accepts artifact directories from before
+// series.csv existed.
+func TestLoadDirMissingSeries(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "cells.csv"),
+		[]byte("experiment,cell,metric,value\nfig8,blind,p99ms,11\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ds.Metric("fig8", "blind", "p99ms"); !ok || v != 11 {
+		t.Fatalf("Metric = %v, %v; want 11, true", v, ok)
+	}
+}
+
+// TestWriteFiguresPrunesStale checks the figures directory ends up
+// exactly the rendered set.
+func TestWriteFiguresPrunesStale(t *testing.T) {
+	dir := t.TempDir()
+	figDir := filepath.Join(dir, "figures")
+	if err := os.MkdirAll(figDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(figDir, "stale.svg"), []byte("<svg/>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(figDir, "notes.txt"), []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	figs := Figures(datasetFrom(sampleInserts()))
+	if err := WriteFigures(dir, figs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(figDir, "stale.svg")); !os.IsNotExist(err) {
+		t.Errorf("stale.svg survived the prune (err=%v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(figDir, "notes.txt")); err != nil {
+		t.Errorf("non-SVG file was pruned: %v", err)
+	}
+	for _, f := range figs {
+		if _, err := os.Stat(filepath.Join(figDir, f.Name+".svg")); err != nil {
+			t.Errorf("missing rendered figure: %v", err)
+		}
+	}
+}
+
+// TestNiceTicks pins the tick engine's contract: nice steps, labels
+// with step-derived precision.
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 6)
+	if len(ticks) == 0 || ticks[0].v != 0 || ticks[len(ticks)-1].v != 100 {
+		t.Fatalf("ticks over [0,100]: %+v", ticks)
+	}
+	for _, tk := range niceTicks(0, 1, 6) {
+		if len(tk.label) > 4 {
+			t.Errorf("tick label %q longer than the step precision warrants", tk.label)
+		}
+	}
+}
+
+// TestFmtCoord pins rounding and -0 normalization.
+func TestFmtCoord(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{{1.23456, "1.23"}, {-0.0001, "0"}, {2, "2"}, {-3.456, "-3.46"}, {0.005, "0.01"}} {
+		if got := fmtCoord(tc.in); got != tc.want {
+			t.Errorf("fmtCoord(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package report
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// fmtCoord formats a pixel coordinate: rounded to 1/100 px, shortest
+// exact decimal, "-0" normalized. Rounding first makes the output
+// insensitive to float noise far below visual relevance.
+func fmtCoord(v float64) string {
+	r := math.Round(v*100) / 100
+	if r == 0 {
+		r = 0 // collapse -0
+	}
+	return strconv.FormatFloat(r, 'f', -1, 64)
+}
+
+// escapeText escapes the characters XML text and attribute values
+// cannot carry raw.
+var escapeText = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+
+// svgWriter emits SVG with source-ordered attributes: attrs are
+// explicit (key, value) pairs, so serialization order is exactly call
+// order — rule one of the package's determinism contract.
+type svgWriter struct {
+	b strings.Builder
+}
+
+func (w *svgWriter) attrs(attrs []string) {
+	if len(attrs)%2 != 0 {
+		panic("report: svg attrs must be (key, value) pairs")
+	}
+	for i := 0; i < len(attrs); i += 2 {
+		w.b.WriteByte(' ')
+		w.b.WriteString(attrs[i])
+		w.b.WriteString(`="`)
+		w.b.WriteString(escapeText.Replace(attrs[i+1]))
+		w.b.WriteByte('"')
+	}
+}
+
+// open writes `<tag k="v" ...>`.
+func (w *svgWriter) open(tag string, attrs ...string) {
+	w.b.WriteByte('<')
+	w.b.WriteString(tag)
+	w.attrs(attrs)
+	w.b.WriteString(">\n")
+}
+
+// element writes a self-closing `<tag k="v" .../>`.
+func (w *svgWriter) element(tag string, attrs ...string) {
+	w.b.WriteByte('<')
+	w.b.WriteString(tag)
+	w.attrs(attrs)
+	w.b.WriteString("/>\n")
+}
+
+// close writes `</tag>`.
+func (w *svgWriter) close(tag string) {
+	w.b.WriteString("</")
+	w.b.WriteString(tag)
+	w.b.WriteString(">\n")
+}
+
+// text writes `<text ...>s</text>` with escaped content.
+func (w *svgWriter) text(s string, attrs ...string) {
+	w.b.WriteString("<text")
+	w.attrs(attrs)
+	w.b.WriteByte('>')
+	w.b.WriteString(escapeText.Replace(s))
+	w.b.WriteString("</text>\n")
+}
+
+// bytes returns the accumulated document.
+func (w *svgWriter) bytes() []byte {
+	return []byte(w.b.String())
+}

@@ -1,0 +1,55 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"perfiso/internal/obs"
+)
+
+// TestCollectSpansArrivalOrderStable is the merged-trace determinism
+// regression: the same spans split across partials in any arrival
+// order — including retried units leaving same-start same-unit spans
+// from different workers — must serialize to identical trace.jsonl
+// bytes.
+func TestCollectSpansArrivalOrderStable(t *testing.T) {
+	spans := []obs.Span{
+		{Experiment: "fig8", Cell: "blind", Unit: "u3", Worker: "w1", StartMs: 0, DurationMs: 4},
+		{Experiment: "fig4", Cell: "standalone/qps=2000", Unit: "u1", Worker: "w2", StartMs: 0, DurationMs: 7},
+		// A retried unit: identical start, experiment, cell, and unit,
+		// only the worker differs.
+		{Experiment: "fig4", Cell: "bully=high/qps=2000", Unit: "u2", Worker: "w9", StartMs: 5, DurationMs: 3},
+		{Experiment: "fig4", Cell: "bully=high/qps=2000", Unit: "u2", Worker: "w1", StartMs: 5, DurationMs: 3.5},
+		{Experiment: "fig9", Cell: "cpu-bound", Unit: "u4", Worker: "w3", StartMs: 9, DurationMs: 1},
+	}
+
+	// Three fleets that finished in different orders, with the spans
+	// distributed differently across partials each time.
+	arrivals := [][][]obs.Span{
+		{{spans[0], spans[1]}, {spans[2], spans[3]}, {spans[4]}},
+		{{spans[4], spans[3]}, {spans[2]}, {spans[1], spans[0]}},
+		{{spans[3], spans[0], spans[4]}, {}, {spans[1], spans[2]}},
+	}
+
+	var want []byte
+	for i, groups := range arrivals {
+		var partials []Partial
+		for _, g := range groups {
+			partials = append(partials, Partial{Spans: g})
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteJSONL(&buf, CollectSpans(partials)); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = buf.Bytes()
+			if len(want) == 0 {
+				t.Fatal("no trace bytes written")
+			}
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("arrival order %d produced different trace.jsonl bytes:\n%s\nvs baseline:\n%s", i, buf.Bytes(), want)
+		}
+	}
+}

@@ -7,7 +7,7 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_cluster.json}"
 
 raw=$(go test -run '^$' \
-	-bench 'BenchmarkFig9Cluster$|BenchmarkHarvestFrontier$|BenchmarkFig10Production$|BenchmarkReproAll|BenchmarkTraceIO|BenchmarkDispatchOverhead|BenchmarkStatsOverhead' \
+	-bench 'BenchmarkFig9Cluster$|BenchmarkHarvestFrontier$|BenchmarkFig10Production$|BenchmarkReproAll|BenchmarkTraceIO|BenchmarkDispatchOverhead|BenchmarkStatsOverhead|BenchmarkRenderFigures$' \
 	-benchtime 1x -count 1 -timeout 30m .)
 echo "$raw" >&2
 
@@ -57,7 +57,8 @@ fi
 	echo '    "PR 3: trace IO moved from reflective binary.Read/Write to fixed 16-byte buffers; 200k-record before/after on the PR machine: write 10.0ms -> 1.27ms/op (320 -> 2527 MB/s), read 11.7ms -> 2.42ms/op (274 -> 1322 MB/s)",'
 	echo '    "PR 5: BenchmarkDispatchOverhead prices the work-stealing dispatcher against the static shard plan at equal worker counts; on the 1-core PR machine: 45 units in 32.7s dispatched vs 30.8s static (~6%, loopback HTTP + 4-way oversubscription of one core — noise on multi-core)",'
 	echo '    "PR 6: BenchmarkStatsOverhead prices the obs tracker layer on the sim hot path: noop (the default everyone pays) vs a recording tracker vs recording plus RNG draw accounting; interleaved A/B of BenchmarkReproAll/workers=1 on the 1-core PR machine: seed 28.5s/28.1s vs instrumented-noop 27.2s/29.1s — the noop path is within run-to-run noise (well under the 2% budget)",'
-	echo '    "PR 7: engine core rewrite — flat 4-ary pointer-free event heap + slot-pooled callbacks (BenchmarkEventHeap old->new: 212->95 ns/op at depth 1k, 462->167 ns/op at depth 100k, 1->0 allocs/op), Agenda-streamed trace replay (peak heap depth ~12k -> tens), lazily cancelled deadline/spec/slice timers, pooled slice-event records, tombstoned thread lists, geometric histogram growth; BenchmarkReproAll/workers=1 on the 1-core PR machine: 30.78s -> 12.40s (2.48x cells/sec) with results/test and RESULTS.md byte-identical"'
+	echo '    "PR 7: engine core rewrite — flat 4-ary pointer-free event heap + slot-pooled callbacks (BenchmarkEventHeap old->new: 212->95 ns/op at depth 1k, 462->167 ns/op at depth 100k, 1->0 allocs/op), Agenda-streamed trace replay (peak heap depth ~12k -> tens), lazily cancelled deadline/spec/slice timers, pooled slice-event records, tombstoned thread lists, geometric histogram growth; BenchmarkReproAll/workers=1 on the 1-core PR machine: 30.78s -> 12.40s (2.48x cells/sec) with results/test and RESULTS.md byte-identical",'
+	echo '    "PR 9: BenchmarkRenderFigures prices the figure pipeline downstream of the simulator — LoadDir(results/test) CSVs rendered to all SVGs; ~5ms for 19 figures / 131KB on the 1-core PR machine, i.e. negligible next to any cell simulation"'
 	echo '  ],'
 	echo '  "benchmarks": ['
 	printf '%s\n%s\n' "$raw" "$heapraw" | awk '
