@@ -38,6 +38,7 @@ import (
 	"perfiso/internal/report"
 	"perfiso/internal/shard"
 	"perfiso/internal/sim"
+	"perfiso/internal/simtrace"
 	"perfiso/internal/workload"
 )
 
@@ -222,21 +223,28 @@ func BenchmarkReproAll(b *testing.B) {
 
 // BenchmarkStatsOverhead prices the observability layer on the sim
 // hot path: the same single-node simulation with the default noop
-// tracker, with a recording tracker installed process-wide, and with
-// RNG draw accounting on top. The noop row is the cost every
-// uninstrumented run pays — each engine caches one enabled boolean, so
-// it must stay within noise (≤2%) of the pre-instrumentation baseline.
+// tracker, with a recording tracker installed process-wide, with RNG
+// draw accounting on top, and with a live sim-domain tracer capturing
+// every span. The noop row is the cost every uninstrumented run pays —
+// each engine caches one enabled boolean (and the sim-trace hooks hide
+// behind one nil check), so it must stay within noise (≤2%) of the
+// pre-instrumentation baseline; scripts/bench.sh enforces that budget
+// against the committed BENCH_cluster.json under BENCH_STRICT=1.
 func BenchmarkStatsOverhead(b *testing.B) {
 	qps := experiments.Loads[len(experiments.Loads)-1]
+	runPlain := func() experiments.SingleResult {
+		return experiments.RunSingle(qps, experiments.BullyHigh, perfiso.PolicyBlind(8), benchScale())
+	}
 	for _, mode := range []struct {
 		name  string
 		setup func() (teardown func())
+		run   func() experiments.SingleResult
 	}{
-		{"noop", func() func() { return func() {} }},
+		{"noop", func() func() { return func() {} }, runPlain},
 		{"recording", func() func() {
 			obs.SetDefault(obs.NewRecording())
 			return func() { obs.SetDefault(nil) }
-		}},
+		}, runPlain},
 		{"recording+rng", func() func() {
 			obs.SetDefault(obs.NewRecording())
 			sim.SetRNGAccounting(true)
@@ -244,6 +252,9 @@ func BenchmarkStatsOverhead(b *testing.B) {
 				sim.SetRNGAccounting(false)
 				obs.SetDefault(nil)
 			}
+		}, runPlain},
+		{"simtrace", func() func() { return func() {} }, func() experiments.SingleResult {
+			return experiments.RunSingleTraced(qps, experiments.BullyHigh, perfiso.PolicyBlind(8), benchScale(), simtrace.New())
 		}},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
@@ -252,7 +263,7 @@ func BenchmarkStatsOverhead(b *testing.B) {
 			b.ResetTimer()
 			var r experiments.SingleResult
 			for i := 0; i < b.N; i++ {
-				r = experiments.RunSingle(qps, experiments.BullyHigh, perfiso.PolicyBlind(8), benchScale())
+				r = mode.run()
 			}
 			b.ReportMetric(r.Latency.P99Ms, "p99ms")
 		})

@@ -88,6 +88,7 @@ import (
 	"perfiso/internal/report"
 	"perfiso/internal/shard"
 	"perfiso/internal/sim"
+	"perfiso/internal/simtrace"
 )
 
 func main() {
@@ -113,8 +114,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return workCmd(rest, stdout, stderr)
 		case "report":
 			return reportCmd(rest, stdout, stderr)
+		case "tracecheck":
+			return tracecheckCmd(rest, stdout, stderr)
 		default:
-			fmt.Fprintf(stderr, "perfiso-repro: unknown subcommand %q (want run, manifest, merge, serve, work or report)\n", sub)
+			fmt.Fprintf(stderr, "perfiso-repro: unknown subcommand %q (want run, manifest, merge, serve, work, report or tracecheck)\n", sub)
 			return 2
 		}
 	}
@@ -155,6 +158,50 @@ func parseShard(s string) (idx, count int, err error) {
 // topCellsN bounds the per-cell cost breakdown folded into timing.json
 // by -stats.
 const topCellsN = 10
+
+// startPprof serves net/http/pprof on its own listener when addr is
+// non-empty, so run and work expose profiles without carrying the
+// coordinator's HTTP mux. The returned stop closes the server; a
+// requested-but-unbindable endpoint is a loud failure, never silent.
+func startPprof(addr string, stderr io.Writer) (stop func(), ok bool) {
+	if addr == "" {
+		return func() {}, true
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "perfiso-repro: -pprof-addr %s: %v\n", addr, err)
+		return nil, false
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return func() { srv.Close() }, true
+}
+
+// simtraceFileName maps one cell to its trace file name. Cell names
+// carry '/', '%' and spaces; everything outside a conservative
+// filename-safe set becomes '-'.
+func simtraceFileName(exp, cell string) string {
+	sanitize := func(s string) string {
+		var b strings.Builder
+		for _, r := range s {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+				r == '=', r == '.', r == '-', r == '_':
+				b.WriteRune(r)
+			default:
+				b.WriteByte('-')
+			}
+		}
+		return b.String()
+	}
+	return sanitize(exp) + "--" + sanitize(cell) + ".json"
+}
 
 // statsTracking turns process-wide observability recording on for the
 // duration of a run. The returned stop restores the zero-cost default.
@@ -245,9 +292,10 @@ func emitOutputs(res experiments.RunResult, timing experiments.RunTiming, explic
 				fmt.Fprintf(stderr, "perfiso-repro: writing figures: %v\n", err)
 				return 1
 			}
-			fmt.Fprintf(stdout, "wrote %s, %s, %s, %s and %s (%d figures)\n",
+			fmt.Fprintf(stdout, "wrote %s, %s, %s, %s, %s and %s (%d figures)\n",
 				filepath.Join(dir, "summary.json"), filepath.Join(dir, "cells.csv"),
-				filepath.Join(dir, "series.csv"), filepath.Join(dir, "timing.json"),
+				filepath.Join(dir, "series.csv"), filepath.Join(dir, "forensics.csv"),
+				filepath.Join(dir, "timing.json"),
 				filepath.Join(dir, "figures"), len(figs))
 			if len(spans) > 0 {
 				if err := writeTrace(dir, spans); err != nil {
@@ -338,6 +386,64 @@ func reportCmd(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// tracecheckCmd validates Chrome trace-event JSON emitted by run
+// -simtrace: parseable, known phases only, every async end matching an
+// open begin, and per-track monotone timestamps. Arguments name trace
+// files or directories of them (*.json).
+func tracecheckCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("perfiso-repro tracecheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintf(stderr, "perfiso-repro: tracecheck needs trace files or directories (e.g. results/test/simtrace)\n")
+		return 2
+	}
+	var paths []string
+	for _, arg := range fs.Args() {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+			return 1
+		}
+		if !info.IsDir() {
+			paths = append(paths, arg)
+			continue
+		}
+		entries, err := os.ReadDir(arg)
+		if err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+			return 1
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+				paths = append(paths, filepath.Join(arg, e.Name()))
+			}
+		}
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(stderr, "perfiso-repro: tracecheck found no .json traces\n")
+		return 1
+	}
+	bad := 0
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err == nil {
+			err = simtrace.ValidateChrome(data)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: %s: %v\n", p, err)
+			bad++
+		}
+	}
+	fmt.Fprintf(stdout, "validated %d trace files (%d invalid)\n", len(paths), bad)
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
 // printRun summarizes a run on stdout like the pre-shard CLI.
 func printRun(res experiments.RunResult, timing experiments.RunTiming, tables bool, stdout io.Writer) {
 	for _, e := range res.Experiments {
@@ -372,6 +478,8 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 	dispatchN := fs.Int("dispatch", 0, "execute via the work-stealing coordinator with N in-process workers (0 = static pool)")
 	stats := fs.Bool("stats", false, "record hot-path counters and fold them (plus phase and top-cell cost breakdowns) into timing.json")
 	traceFlag := fs.Bool("trace", false, "collect one span per executed cell; full runs write trace.jsonl next to timing.json, -shard embeds the spans in the partial")
+	simtraceFlag := fs.Bool("simtrace", false, "write per-cell sim-domain Chrome trace-event JSON under results/<scale>/simtrace/ (in-process pool only)")
+	pprofAddr := fs.String("pprof-addr", "", "expose net/http/pprof on this address for the duration of the run (empty disables)")
 	tables := fs.Bool("tables", false, "print each experiment's table to stdout")
 	quiet := fs.Bool("quiet", false, "suppress per-cell progress on stderr")
 	if err := fs.Parse(args); err != nil {
@@ -383,6 +491,14 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	if *dispatchN > 0 && *shardSpec != "" {
 		fmt.Fprintf(stderr, "perfiso-repro: -dispatch and -shard are mutually exclusive (the dispatcher replaces the static plan)\n")
+		return 2
+	}
+	if *simtraceFlag && (*shardSpec != "" || *dispatchN > 0) {
+		fmt.Fprintf(stderr, "perfiso-repro: -simtrace needs the in-process pool (trace events do not ride shard or dispatch partials)\n")
+		return 2
+	}
+	if *simtraceFlag && *resultsDir == "" {
+		fmt.Fprintf(stderr, "perfiso-repro: -simtrace with -results \"\" has nowhere to write traces\n")
 		return 2
 	}
 
@@ -418,13 +534,19 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 
 	// Trackers and tracers observe without participating: the seeded
 	// simulations never read them, so summary.json, cells.csv and
-	// RESULTS.md come out byte-identical with or without -stats/-trace.
+	// RESULTS.md come out byte-identical with or without
+	// -stats/-trace/-simtrace.
 	rec, stopStats := statsTracking(*stats)
 	defer stopStats()
 	var tracer *obs.TraceBuffer
 	if *traceFlag {
 		tracer = obs.NewTraceBuffer()
 	}
+	stopPprof, okPprof := startPprof(*pprofAddr, stderr)
+	if !okPprof {
+		return 1
+	}
+	defer stopPprof()
 
 	if *shardSpec != "" {
 		idx, count, err := parseShard(*shardSpec)
@@ -505,10 +627,48 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	res, err := reg.Run(experiments.RunOptions{Spec: spec, Workers: *workers, Filter: filter, OnCell: onCell, Tracer: tracer})
+	runOpts := experiments.RunOptions{Spec: spec, Workers: *workers, Filter: filter, OnCell: onCell, Tracer: tracer}
+	var simErr error
+	simCount := 0
+	simDir := filepath.Join(*resultsDir, spec.Name, "simtrace")
+	if *simtraceFlag {
+		if err := os.MkdirAll(simDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
+			return 1
+		}
+		// Delivery is serialized after the pool drains, in deterministic
+		// cell order; the first write error aborts the remaining files.
+		runOpts.OnSimTrace = func(exp, cell string, tr *simtrace.Tracer) {
+			if simErr != nil || tr.Len() == 0 {
+				return
+			}
+			f, err := os.Create(filepath.Join(simDir, simtraceFileName(exp, cell)))
+			if err != nil {
+				simErr = err
+				return
+			}
+			if err := simtrace.WriteChrome(f, tr); err != nil {
+				f.Close()
+				simErr = err
+				return
+			}
+			if simErr = f.Close(); simErr == nil {
+				simCount++
+			}
+		}
+	}
+
+	res, err := reg.Run(runOpts)
 	if err != nil {
 		fmt.Fprintf(stderr, "perfiso-repro: %v\n", err)
 		return 2
+	}
+	if simErr != nil {
+		fmt.Fprintf(stderr, "perfiso-repro: writing sim traces: %v\n", simErr)
+		return 1
+	}
+	if *simtraceFlag {
+		fmt.Fprintf(stdout, "wrote %d sim traces under %s\n", simCount, simDir)
 	}
 	res.ManifestHash = m.Hash
 	timing := experiments.TimingOf(res)
@@ -821,6 +981,8 @@ func workCmd(args []string, stdout, stderr io.Writer) int {
 	coordinator := fs.String("coordinator", "", "coordinator base URL (e.g. http://host:7413)")
 	name := fs.String("name", "", "worker name in leases and timing (default host-pid)")
 	loops := fs.Int("workers", 0, "concurrent claim loops in this process (0 = GOMAXPROCS)")
+	metricsAddr := fs.String("metrics-addr", "", "expose this worker's claim/upload/latency counters as Prometheus text on this address (empty disables)")
+	pprofAddr := fs.String("pprof-addr", "", "expose net/http/pprof on this address for the duration of the run (empty disables)")
 	quiet := fs.Bool("quiet", false, "suppress per-unit progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -828,6 +990,31 @@ func workCmd(args []string, stdout, stderr io.Writer) int {
 	if *coordinator == "" {
 		fmt.Fprintf(stderr, "perfiso-repro: work needs -coordinator URL\n")
 		return 2
+	}
+	stopPprof, okPprof := startPprof(*pprofAddr, stderr)
+	if !okPprof {
+		return 1
+	}
+	defer stopPprof()
+
+	// -metrics-addr mirrors the coordinator's /metrics for one worker
+	// process: a private recording tracker observes every claim loop in
+	// this process, so the endpoint needs no cross-process state.
+	var workRec *obs.Recording
+	if *metricsAddr != "" {
+		workRec = obs.NewRecording()
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", obs.PromHandler(func() []obs.Metric {
+			return workRec.Snapshot().Metrics()
+		}))
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "perfiso-repro: -metrics-addr %s: %v\n", *metricsAddr, err)
+			return 1
+		}
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
 	}
 	if *name == "" {
 		host, err := os.Hostname()
@@ -876,6 +1063,9 @@ func workCmd(args []string, stdout, stderr io.Writer) int {
 			Name:        fmt.Sprintf("%s/%d", *name, i),
 			Runner:      runner,
 			OnUnit:      onUnit,
+		}
+		if workRec != nil {
+			workers[i].Tracker = workRec
 		}
 		wg.Add(1)
 		go func(i int) {

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"strconv"
+
 	"perfiso/internal/cpumodel"
 	"perfiso/internal/obs"
 	"perfiso/internal/osmodel"
 	"perfiso/internal/sim"
+	"perfiso/internal/simtrace"
 	"perfiso/internal/stats"
 )
 
@@ -63,9 +66,22 @@ type BlindIsolation struct {
 	sampleEvery uint64
 
 	// trk observes grow/shrink/holdoff decisions; track caches
-	// trk.Enabled() so the disabled path is one branch.
-	trk   obs.Tracker
-	track bool
+	// trk.Enabled() so the disabled path is one branch. strace
+	// additionally records the decisions as sim-time instants when a
+	// cell runs under -simtrace (nil otherwise).
+	trk    obs.Tracker
+	track  bool
+	strace *simtrace.Tracer
+}
+
+// SetSimTracer attaches a sim-domain tracer recording buffer
+// grow/shrink and holdoff decisions as instant events (nil detaches).
+func (b *BlindIsolation) SetSimTracer(tr *simtrace.Tracer) { b.strace = tr }
+
+// traceDecision emits one controller instant on the control track.
+func (b *BlindIsolation) traceDecision(name string, cores int) {
+	b.strace.Instant(b.os.Now(), simtrace.TrackControl, name, "controller",
+		simtrace.KV{Key: "allocated", Value: strconv.Itoa(cores)})
 }
 
 // NewBlindIsolation builds the isolator for a secondary job. It does not
@@ -239,8 +255,13 @@ func (b *BlindIsolation) Poll() {
 			if b.allocated < b.maxSec && (b.lastGrow == 0 || now.Sub(b.lastGrow) >= b.holdoff) {
 				b.apply(b.allocated + 1)
 				b.lastGrow = now
-			} else if b.track && b.allocated < b.maxSec {
-				b.trk.HoldoffDeferred()
+			} else if b.allocated < b.maxSec {
+				if b.track {
+					b.trk.HoldoffDeferred()
+				}
+				if b.strace != nil {
+					b.traceDecision("holdoff-deferred", b.allocated)
+				}
 			}
 		}
 	}
@@ -269,10 +290,16 @@ func (b *BlindIsolation) apply(cores int) {
 		if b.track {
 			b.trk.BufferShrink(cores)
 		}
+		if b.strace != nil {
+			b.traceDecision("buffer-shrink", cores)
+		}
 	} else if cores > b.allocated {
 		b.Grows++
 		if b.track {
 			b.trk.BufferGrow(cores)
+		}
+		if b.strace != nil {
+			b.traceDecision("buffer-grow", cores)
 		}
 	}
 	b.allocated = cores

@@ -4,6 +4,7 @@ import (
 	"perfiso/internal/obs"
 	"perfiso/internal/osmodel"
 	"perfiso/internal/sim"
+	"perfiso/internal/simtrace"
 )
 
 // MemoryGuard enforces §3.2's memory policy: the primary's fixed
@@ -33,8 +34,13 @@ type MemoryGuard struct {
 	// restart or reschedule the batch work elsewhere).
 	OnKill func(reason string)
 
-	trk obs.Tracker
+	trk    obs.Tracker
+	strace *simtrace.Tracer
 }
+
+// SetSimTracer attaches a sim-domain tracer recording guard kills as
+// instant events (nil detaches).
+func (g *MemoryGuard) SetSimTracer(tr *simtrace.Tracer) { g.strace = tr }
 
 // NewMemoryGuard builds a guard for the secondary job.
 func NewMemoryGuard(os *osmodel.OS, job *osmodel.Job, cfg Config) *MemoryGuard {
@@ -101,6 +107,10 @@ func (g *MemoryGuard) kill(reason string) {
 	g.Kills++
 	if g.trk.Enabled() {
 		g.trk.Eviction()
+	}
+	if g.strace != nil {
+		g.strace.Instant(g.os.Now(), simtrace.TrackControl, "memory-evict", "controller",
+			simtrace.KV{Key: "reason", Value: reason})
 	}
 	if g.OnKill != nil {
 		g.OnKill(reason)

@@ -2,8 +2,10 @@ package cpumodel
 
 import (
 	"fmt"
+	"strconv"
 
 	"perfiso/internal/sim"
+	"perfiso/internal/simtrace"
 	"perfiso/internal/stats"
 )
 
@@ -55,6 +57,37 @@ type Thread struct {
 	ideal   int      // preferred core for placement
 	core    int      // core currently running or queued on (-1 otherwise)
 	readyAt sim.Time // when the thread last became ready (for FIFO pulls)
+
+	// Forensic accumulators: how long the thread has spent running and
+	// waiting, with ready waits classified by blame at enqueue time.
+	// Pure observers — never read by a scheduling decision — so they
+	// cannot perturb the simulation; always on, priced by
+	// BenchmarkStatsOverhead's ≤2% budget.
+	fxRun     sim.Duration
+	fxQueue   sim.Duration // ready behind primary/OS threads
+	fxHarvest sim.Duration // ready behind batch threads on eligible cores
+	fxEvict   sim.Duration // ready while a delayed eviction was pending
+	fxPark    sim.Duration // parked (freeze or empty affinity)
+	waitKind  uint8
+	parkedAt  sim.Time
+}
+
+// Ready-wait blame classes, decided when the wait begins.
+const (
+	waitQueue uint8 = iota
+	waitHarvest
+	waitEvict
+)
+
+// ForensicTimes returns the thread's accumulated scheduling-state
+// forensics: time spent running, ready behind primary/OS work, ready
+// behind harvested batch work, ready while a delayed batch eviction
+// was pending, and parked. In-flight intervals are charged on the
+// transition that ends them (dispatch, remove, preempt, cancel), so
+// after Cancel or completion the partition covers spawn-to-end
+// exactly.
+func (t *Thread) ForensicTimes() (run, queue, harvest, evict, parked sim.Duration) {
+	return t.fxRun, t.fxQueue, t.fxHarvest, t.fxEvict, t.fxPark
 }
 
 // eff returns the thread's effective affinity.
@@ -235,6 +268,12 @@ type Machine struct {
 	queuedCount int // total threads sitting in run queues
 	slicePool   []*sliceEvent
 
+	// pendingEvictions counts delayed evictions scheduled by evictLater
+	// that have not fired yet; ready waits beginning while it is
+	// non-zero blame the eviction stall.
+	pendingEvictions int
+	trace            *simtrace.Tracer
+
 	dispatchOverheadTotal sim.Duration
 
 	// ContextSwitches counts dispatches, for diagnostics.
@@ -261,6 +300,27 @@ func New(eng *sim.Engine, rng *sim.RNG, cfg Config) *Machine {
 
 // Engine returns the driving event engine.
 func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// SetSimTracer attaches a sim-domain tracer capturing per-core
+// execution slices (nil detaches). Each core becomes one trace track.
+// With no tracer attached the hot path pays a single nil check per
+// scheduling event.
+func (m *Machine) SetSimTracer(tr *simtrace.Tracer) {
+	m.trace = tr
+	if tr != nil {
+		for _, c := range m.core {
+			tr.NameTrack(c.id, fmt.Sprintf("core %d", c.id))
+		}
+	}
+}
+
+// traceSlice emits the execution slice ending now on core c.
+func (m *Machine) traceSlice(c *core, t *Thread, now sim.Time) {
+	if d := now.Sub(c.sliceStart); d > 0 {
+		m.trace.Slice(c.sliceStart, d, c.id, t.Proc.Name, "cpu",
+			simtrace.KV{Key: "tid", Value: strconv.Itoa(t.ID)})
+	}
+}
 
 // Cores reports the logical core count.
 func (m *Machine) Cores() int { return m.cfg.Cores }
@@ -332,6 +392,7 @@ func (m *Machine) accrueRun(c *core, now sim.Time) {
 	p := c.running.Proc
 	m.acct.Accumulate(p.Class, d)
 	p.cpuTime += d
+	c.running.fxRun += d
 	if p.capFrac > 0 {
 		p.windowUsed += d
 	}
@@ -364,6 +425,7 @@ func (m *Machine) Spawn(p *Process, burst sim.Duration, aff CPUSet, onDone func(
 		OnDone:    onDone,
 		ideal:     m.nextThread % m.cfg.Cores,
 		core:      -1,
+		parkedAt:  m.eng.Now(),
 	}
 	p.addThread(t)
 	m.makeReady(t)
@@ -376,7 +438,11 @@ func (m *Machine) makeReady(t *Thread) {
 	if t.State == StateDone {
 		return
 	}
-	t.readyAt = m.eng.Now()
+	now := m.eng.Now()
+	if t.State == StateParked {
+		t.fxPark += now.Sub(t.parkedAt)
+	}
+	t.readyAt = now
 	if t.Proc.frozen {
 		m.park(t)
 		return
@@ -396,16 +462,32 @@ func (m *Machine) makeReady(t *Thread) {
 		return
 	}
 	// No idle core available: enqueue on the shortest allowed queue.
+	// The same sweep notes whether any eligible core is running
+	// batch-class work, which decides the forensic blame for the wait
+	// that starts here.
 	best := -1
 	bestLen := int(^uint(0) >> 1)
+	sawBatch := false
 	eff.ForEach(func(i int) {
-		if l := len(m.core[i].queue); l < bestLen {
+		ci := m.core[i]
+		if r := ci.running; r != nil && !r.Proc.boosted() {
+			sawBatch = true
+		}
+		if l := len(ci.queue); l < bestLen {
 			best, bestLen = i, l
 		}
 	})
 	c := m.core[best]
 	t.State = StateReady
 	t.core = best
+	t.waitKind = waitQueue
+	if t.Proc.boosted() {
+		if m.pendingEvictions > 0 {
+			t.waitKind = waitEvict
+		} else if sawBatch {
+			t.waitKind = waitHarvest
+		}
+	}
 	// Wake boost: primary-class threads queue ahead of batch-class
 	// threads (FIFO within each band), mirroring the dynamic-priority
 	// boost Windows grants threads waking from a wait. This is what
@@ -436,7 +518,50 @@ func (p *Process) boosted() bool {
 func (m *Machine) park(t *Thread) {
 	t.State = StateParked
 	t.core = -1
+	t.parkedAt = m.eng.Now()
 	t.Proc.parked = append(t.Proc.parked, t)
+}
+
+// accrueWait charges the ready wait that ends now to the blame bucket
+// chosen when the wait began, and restarts the wait clock.
+func (m *Machine) accrueWait(t *Thread, now sim.Time) {
+	d := now.Sub(t.readyAt)
+	if d <= 0 {
+		return
+	}
+	switch t.waitKind {
+	case waitHarvest:
+		t.fxHarvest += d
+	case waitEvict:
+		t.fxEvict += d
+	default:
+		t.fxQueue += d
+	}
+	t.readyAt = now
+}
+
+// classifyWait picks the blame bucket for a ready wait beginning now:
+// primary/OS threads waiting while a delayed batch eviction is
+// pending blame the eviction stall; waiting while batch threads
+// occupy eligible cores blames the harvest; everything else is plain
+// queueing.
+func (m *Machine) classifyWait(t *Thread) uint8 {
+	if !t.Proc.boosted() {
+		return waitQueue
+	}
+	if m.pendingEvictions > 0 {
+		return waitEvict
+	}
+	sawBatch := false
+	t.eff().ForEach(func(i int) {
+		if r := m.core[i].running; r != nil && !r.Proc.boosted() {
+			sawBatch = true
+		}
+	})
+	if sawBatch {
+		return waitHarvest
+	}
+	return waitQueue
 }
 
 // dispatch starts t on idle core c and schedules its slice event.
@@ -446,6 +571,7 @@ func (m *Machine) dispatch(c *core, t *Thread) {
 	}
 	now := m.eng.Now()
 	m.accrueIdle(c, now)
+	m.accrueWait(t, now)
 	m.idleMask = m.idleMask.Without(c.id)
 	// Dispatch overhead is tracked separately rather than accumulated
 	// into the class accounting, so that Σ(class time) == capacity holds
@@ -483,6 +609,9 @@ func (m *Machine) completeSlice(c *core) {
 	now := m.eng.Now()
 	t := c.running
 	m.accrueRun(c, now)
+	if m.trace != nil {
+		m.traceSlice(c, t, now)
+	}
 	t.Remaining = 0
 	t.State = StateDone
 	t.core = -1
@@ -500,6 +629,9 @@ func (m *Machine) expireQuantum(c *core) {
 	now := m.eng.Now()
 	t := c.running
 	m.accrueRun(c, now)
+	if m.trace != nil {
+		m.traceSlice(c, t, now)
+	}
 	t.Remaining -= now.Sub(c.sliceStart)
 	if t.Remaining <= 0 {
 		// Defensive: should have been a completion.
@@ -519,6 +651,7 @@ func (m *Machine) expireQuantum(c *core) {
 	c.epoch++
 	t.State = StateReady
 	t.readyAt = now
+	t.waitKind = m.classifyWait(t)
 	c.queue = append(c.queue, t)
 	m.queuedCount++
 	m.pickNext(c)
@@ -596,6 +729,7 @@ func (m *Machine) remove(t *Thread) {
 	}
 	c.queue = append(q[:idx], q[idx+1:]...)
 	m.queuedCount--
+	m.accrueWait(t, m.eng.Now())
 	t.core = -1
 }
 
@@ -608,6 +742,9 @@ func (m *Machine) preempt(t *Thread) {
 	}
 	now := m.eng.Now()
 	m.accrueRun(c, now)
+	if m.trace != nil {
+		m.traceSlice(c, t, now)
+	}
 	t.Remaining -= now.Sub(c.sliceStart)
 	if t.Remaining <= 0 {
 		t.Remaining = 1
@@ -674,7 +811,9 @@ func (m *Machine) SetAffinity(p *Process, mask CPUSet) {
 // finished, been killed, or had its affinity restored meanwhile.
 func (m *Machine) evictLater(t *Thread) {
 	coreAt := t.core
+	m.pendingEvictions++
 	m.eng.After(m.cfg.EvictionLatency, func() {
+		m.pendingEvictions--
 		if t.State != StateRunning || t.core != coreAt || t.eff().Has(t.core) {
 			return
 		}
@@ -731,6 +870,7 @@ func (m *Machine) Cancel(t *Thread) {
 		m.remove(t)
 	case StateParked:
 		// Leave it in the parked slice; unparkAll skips Done threads.
+		t.fxPark += m.eng.Now().Sub(t.parkedAt)
 	}
 	t.State = StateDone
 	t.Proc.dropThread()

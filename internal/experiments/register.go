@@ -67,7 +67,7 @@ func DefaultRegistry() *Registry {
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			f := assembleFig4(results)
 			return f, Report{Table: f.Table(), Rows: singleRows(cells, results),
-				Series: singleSeries(cells, results)}
+				Series: singleSeries(cells, results), Forensics: singleForensics(cells, results)}
 		},
 	})
 
@@ -79,7 +79,7 @@ func DefaultRegistry() *Registry {
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			f := assembleFig5(results)
 			return f, Report{Table: f.Table(), Rows: singleRows(cells, results),
-				Series: singleSeries(cells, results)}
+				Series: singleSeries(cells, results), Forensics: singleForensics(cells, results)}
 		},
 	})
 
@@ -90,7 +90,8 @@ func DefaultRegistry() *Registry {
 		Cells:        func(s ScaleSpec) []Cell { return fig6Cells(s.Single) },
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			f := assembleFig6(results)
-			return f, Report{Table: f.Table(), Rows: singleRows(cells, results)}
+			return f, Report{Table: f.Table(), Rows: singleRows(cells, results),
+				Forensics: singleForensics(cells, results)}
 		},
 	})
 
@@ -101,7 +102,8 @@ func DefaultRegistry() *Registry {
 		Cells:        func(s ScaleSpec) []Cell { return fig7Cells(s.Single) },
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			f := assembleFig7(results)
-			return f, Report{Table: f.Table(), Rows: singleRows(cells, results)}
+			return f, Report{Table: f.Table(), Rows: singleRows(cells, results),
+				Forensics: singleForensics(cells, results)}
 		},
 	})
 
@@ -112,7 +114,8 @@ func DefaultRegistry() *Registry {
 		Cells:        func(s ScaleSpec) []Cell { return fig8Cells(s.Fig8QPS, s.Single) },
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			f := assembleFig8(results)
-			return f, Report{Table: f.Table(), Rows: singleRows(cells, results)}
+			return f, Report{Table: f.Table(), Rows: singleRows(cells, results),
+				Forensics: singleForensics(cells, results)}
 		},
 	})
 
@@ -128,7 +131,8 @@ func DefaultRegistry() *Registry {
 				{"colocated_used_pct", h.ColocatedUsedPct},
 				{"secondary_pct", h.SecondaryPct},
 			}}}
-			return h, Report{Table: h.Table(), Rows: rows}
+			return h, Report{Table: h.Table(), Rows: rows,
+				Forensics: singleForensics(cells, results)}
 		},
 	})
 
@@ -281,7 +285,8 @@ func DefaultRegistry() *Registry {
 		Cells:        func(s ScaleSpec) []Cell { return ablationBufferCells(s.Single) },
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			a := assembleAblationBuffer(results)
-			return a, Report{Table: a.Table(), Rows: ablationRows(cells, results, a.Baseline)}
+			return a, Report{Table: a.Table(), Rows: ablationRows(cells, results, a.Baseline),
+				Forensics: singleForensics(cells, results)}
 		},
 	})
 
@@ -292,7 +297,8 @@ func DefaultRegistry() *Registry {
 		Cells:        func(s ScaleSpec) []Cell { return ablationPollCells(s.Single) },
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			a := assembleAblationPoll(results)
-			return a, Report{Table: a.Table(), Rows: ablationRows(cells, results, a.Baseline)}
+			return a, Report{Table: a.Table(), Rows: ablationRows(cells, results, a.Baseline),
+				Forensics: singleForensics(cells, results)}
 		},
 	})
 
@@ -303,7 +309,8 @@ func DefaultRegistry() *Registry {
 		Cells:        func(s ScaleSpec) []Cell { return ablationHoldoffCells(s.Single) },
 		Assemble: func(s ScaleSpec, cells []Cell, results []any) (any, Report) {
 			a := assembleAblationHoldoff(results)
-			return a, Report{Table: a.Table(), Rows: ablationRows(cells, results, a.Baseline)}
+			return a, Report{Table: a.Table(), Rows: ablationRows(cells, results, a.Baseline),
+				Forensics: singleForensics(cells, results)}
 		},
 	})
 

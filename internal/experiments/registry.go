@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"perfiso/internal/obs"
+	"perfiso/internal/simtrace"
 	"perfiso/internal/workload"
 )
 
@@ -92,6 +93,11 @@ type Cell struct {
 	Cost float64
 	// Run executes the cell and returns its result.
 	Run func() any
+	// TracedRun, when set, executes the cell with a sim-domain tracer
+	// attached. It must return the exact result Run would — tracers are
+	// pure observers — so a traced registry run stays byte-identical to
+	// an untraced one. Cells without it simply run untraced.
+	TracedRun func(tr *simtrace.Tracer) any
 }
 
 // CostOrDefault is the planning cost: Cost, or 1 when unset.
@@ -118,11 +124,14 @@ type Row struct {
 // Report is an experiment's rendered outcome: the human table the
 // figure runners have always printed plus flat rows for artifacts.
 // Series, for experiments that model timelines, carries per-cell time
-// series emitted into series.csv next to the scalar cells.csv.
+// series emitted into series.csv next to the scalar cells.csv;
+// Forensics carries per-cell tail blame tables emitted into
+// forensics.csv.
 type Report struct {
-	Table  string
-	Rows   []Row
-	Series []SeriesRow
+	Table     string
+	Rows      []Row
+	Series    []SeriesRow
+	Forensics []ForensicsRow
 }
 
 // Experiment is one registered unit of the paper's evaluation: a
@@ -251,6 +260,11 @@ type RunOptions struct {
 	OnCell func(experiment, cell string, elapsed time.Duration)
 	// Tracer, when set, collects one span per executed cell.
 	Tracer *obs.TraceBuffer
+	// OnSimTrace, when set, attaches a sim-domain tracer to every cell
+	// that supports one (Cell.TracedRun) and delivers the captured
+	// traces after the pool drains, in deterministic scheduling order.
+	// Keyed-dedup cells deliver once, under the executed cell's name.
+	OnSimTrace func(experiment, cell string, tr *simtrace.Tracer)
 }
 
 // ExperimentResult is one experiment's assembled outcome.
@@ -365,6 +379,23 @@ func (r *Registry) Run(opts RunOptions) (RunResult, error) {
 	}
 	flat, slots = sortedFlat, sortedSlots
 
+	// Sim tracing: swap in the traced runner for every capable cell.
+	// Each tracer is private to its cell, so the pool needs no extra
+	// locking; delivery happens after the pool drains, in the flat
+	// (cost-sorted, deterministic) order.
+	var simTracers []*simtrace.Tracer
+	if opts.OnSimTrace != nil {
+		simTracers = make([]*simtrace.Tracer, len(flat))
+		for i := range flat {
+			if flat[i].TracedRun == nil {
+				continue
+			}
+			tr, traced := simtrace.New(), flat[i].TracedRun
+			simTracers[i] = tr
+			flat[i].Run = func() any { return traced(tr) }
+		}
+	}
+
 	cellSec := make([]float64, len(selected))
 	var timings []CellTiming
 	var mu sync.Mutex
@@ -399,6 +430,14 @@ func (r *Registry) Run(opts RunOptions) (RunResult, error) {
 		mu.Unlock()
 	})
 	elapsed := time.Since(start) //perfiso:allow walltime phase timing feeds timing.json only
+
+	if opts.OnSimTrace != nil {
+		for i, tr := range simTracers {
+			if tr != nil {
+				opts.OnSimTrace(selected[slots[i][0].exp].Name, flat[i].Name, tr)
+			}
+		}
+	}
 
 	assembleStart := time.Now() //perfiso:allow walltime phase timing feeds timing.json only
 	out := RunResult{

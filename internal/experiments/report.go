@@ -38,8 +38,10 @@ type jsonArtifact struct {
 // WriteArtifacts writes the run's deterministic machine-readable
 // artifacts under dir: summary.json (every cell metric plus the
 // rendered tables), cells.csv (long-format
-// experiment,cell,metric,value rows) and series.csv (long-format
-// experiment,cell,series,unit,t,value time-series rows). All are pure
+// experiment,cell,metric,value rows), series.csv (long-format
+// experiment,cell,series,unit,t,value time-series rows) and
+// forensics.csv (long-format experiment,cell,quantile,stat,value
+// tail-blame rows). All are pure
 // functions of the simulation results, so a merged sharded run
 // reproduces them byte-for-byte; wall-clock and worker-count fields
 // live in timing.json (WriteTiming), which carries no such guarantee.
@@ -80,7 +82,10 @@ func WriteArtifacts(dir string, res RunResult) error {
 	if err := os.WriteFile(filepath.Join(dir, "cells.csv"), []byte(csv.String()), 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, "series.csv"), []byte(RenderSeriesCSV(res)), 0o644)
+	if err := os.WriteFile(filepath.Join(dir, "series.csv"), []byte(RenderSeriesCSV(res)), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "forensics.csv"), []byte(RenderForensicsCSV(res)), 0o644)
 }
 
 // RenderSeriesCSV renders the run's time-series artifact: one row per

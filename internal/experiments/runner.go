@@ -7,6 +7,7 @@ import (
 	"perfiso/internal/isolation"
 	"perfiso/internal/node"
 	"perfiso/internal/sim"
+	"perfiso/internal/simtrace"
 	"perfiso/internal/stats"
 	"perfiso/internal/workload"
 )
@@ -84,6 +85,12 @@ type SingleResult struct {
 	// queue depth, and — under blind isolation — the governor's core
 	// allocation vs simulated time).
 	Series []SeriesTrack `json:"Series,omitempty"`
+	// Forensics is the cell's tail-forensics blame table: the
+	// critical-path latency decomposition of the P50/P90/P99/P99.9
+	// queries over the measured window. Durations are exact int64
+	// nanoseconds, so the table round-trips through JSON and rides
+	// shard/dispatch merges byte-identically.
+	Forensics *simtrace.CellForensics `json:"Forensics,omitempty"`
 }
 
 // DegradationMs reports latency degradation against a baseline run at
@@ -98,6 +105,14 @@ func (r SingleResult) DegradationMs(baseline SingleResult) (p50, p95, p99 float6
 // qps colocated with the selected bully under the given policy.
 // A nil policy means no isolation.
 func RunSingle(qps float64, bully BullyMode, pol isolation.Policy, scale Scale) SingleResult {
+	return RunSingleTraced(qps, bully, pol, scale, nil)
+}
+
+// RunSingleTraced is RunSingle with an optional sim-domain tracer
+// capturing per-core execution slices, query lifecycle spans, and
+// controller decisions. The tracer is a pure observer: the returned
+// result is byte-identical with tr nil or not.
+func RunSingleTraced(qps float64, bully BullyMode, pol isolation.Policy, scale Scale, tr *simtrace.Tracer) SingleResult {
 	eng := sim.NewEngine()
 	cfg := node.DefaultConfig()
 	cfg.Seed = scale.Seed
@@ -120,6 +135,19 @@ func RunSingle(qps float64, bully BullyMode, pol isolation.Policy, scale Scale) 
 			panic(fmt.Sprintf("experiments: installing %s: %v", pol.Name(), err))
 		}
 	}
+	if tr != nil {
+		n.CPU.SetSimTracer(tr)
+		n.Server.SetSimTracer(tr)
+		if blind, ok := pol.(*isolation.Blind); ok {
+			blind.Governor().SetSimTracer(tr)
+		}
+	}
+
+	// Tail forensics: collect the critical-path decomposition of every
+	// finished query; the warmup reset below truncates the unreported
+	// prefix so the blame table covers exactly the measured window.
+	var records []simtrace.QueryRecord
+	n.Server.OnRecord = func(r simtrace.QueryRecord) { records = append(records, r) }
 
 	trace := workload.GenerateTrace(workload.TraceConfig{
 		Queries: scale.Queries,
@@ -130,6 +158,7 @@ func RunSingle(qps float64, bully BullyMode, pol isolation.Policy, scale Scale) 
 	if scale.Warmup > 0 && scale.Warmup < len(trace) {
 		eng.At(trace[scale.Warmup].Arrival, func() {
 			n.ResetMeasurement()
+			records = records[:0]
 			if b != nil {
 				bullyBase = b.Progress()
 			}
@@ -172,6 +201,7 @@ func RunSingle(qps float64, bully BullyMode, pol isolation.Policy, scale Scale) 
 	res.Latency = n.Server.Latency.Summary()
 	res.Breakdown = n.CPU.Breakdown()
 	res.DropRate = n.Server.DropRate()
+	res.Forensics = simtrace.BlameTable(records)
 	if b != nil {
 		res.BullyProgress = b.Progress() - bullyBase
 	}

@@ -9,6 +9,7 @@ import (
 	"perfiso/internal/diskmodel"
 	"perfiso/internal/obs"
 	"perfiso/internal/sim"
+	"perfiso/internal/simtrace"
 	"perfiso/internal/stats"
 )
 
@@ -142,9 +143,23 @@ type Scheduler struct {
 	gen     int // invalidates the previous incarnation's ticker on restart
 
 	// trk observes placements/preemptions/requeues; track caches
-	// trk.Enabled() so the disabled path is one branch.
-	trk   obs.Tracker
-	track bool
+	// trk.Enabled() so the disabled path is one branch. strace
+	// additionally records the decisions as sim-time instants when a
+	// traced cell runs the cluster (nil otherwise).
+	trk    obs.Tracker
+	track  bool
+	strace *simtrace.Tracer
+}
+
+// SetSimTracer attaches a sim-domain tracer recording placements,
+// preemptions, and failure requeues as instant events (nil detaches).
+func (s *Scheduler) SetSimTracer(tr *simtrace.Tracer) { s.strace = tr }
+
+// traceDecision emits one scheduler instant on the control track.
+func (s *Scheduler) traceDecision(name string, t *Task) {
+	s.strace.Instant(s.c.Eng.Now(), simtrace.TrackControl, name, "harvest",
+		simtrace.KV{Key: "job", Value: t.Job.Spec.Name},
+		simtrace.KV{Key: "task", Value: fmt.Sprintf("%d", t.Index)})
 }
 
 // NewScheduler builds a scheduler over c and subscribes to its machine
@@ -325,6 +340,9 @@ func (s *Scheduler) shed() {
 			if s.track {
 				s.trk.Preemption()
 			}
+			if s.strace != nil {
+				s.traceDecision("preemption", t)
+			}
 			s.pending = append(s.pending, t)
 		}
 	}
@@ -395,6 +413,9 @@ func (s *Scheduler) start(ms *machineState, t *Task) {
 	ms.running = append(ms.running, t)
 	if s.track {
 		s.trk.Placement()
+	}
+	if s.strace != nil {
+		s.traceDecision("placement", t)
 	}
 	s.placements = append(s.placements, Placement{
 		At:      s.c.Eng.Now(),
@@ -526,6 +547,9 @@ func (s *Scheduler) failMachine(ms *machineState) {
 		s.stats.FailureRequeues++
 		if s.track {
 			s.trk.TaskRequeue()
+		}
+		if s.strace != nil {
+			s.traceDecision("failure-requeue", t)
 		}
 		s.pending = append(s.pending, t)
 	}

@@ -1,10 +1,13 @@
 package indexserve
 
 import (
+	"strconv"
+
 	"perfiso/internal/cpumodel"
 	"perfiso/internal/diskmodel"
 	"perfiso/internal/netmodel"
 	"perfiso/internal/sim"
+	"perfiso/internal/simtrace"
 	"perfiso/internal/stats"
 	"perfiso/internal/workload"
 )
@@ -114,10 +117,20 @@ type Server struct {
 	// OnResponse, when set, observes every query outcome (the cluster
 	// aggregators hook in here).
 	OnResponse func(Response)
+	// OnRecord, when set, receives the critical-path forensic record of
+	// every finished query (completed or dropped). Like OnResponse it
+	// is a pure observer: the record is derived from bookkeeping the
+	// server maintains anyway, so installing it changes no outcome.
+	OnRecord func(simtrace.QueryRecord)
 
 	nic      *netmodel.NIC
+	trace    *simtrace.Tracer
 	inFlight int
 }
+
+// SetSimTracer attaches a sim-domain tracer capturing query lifecycle
+// spans and milestones (nil detaches).
+func (s *Server) SetSimTracer(tr *simtrace.Tracer) { s.trace = tr }
 
 // AttachNIC routes completed-query replies through the machine's
 // egress NIC at high priority. Response transmission is asynchronous
@@ -138,6 +151,24 @@ type query struct {
 	// no-ops once done was set, so cancelling them changes no outcome.
 	deadline sim.Timer
 	spec     sim.Timer
+
+	// Per-matcher forensic bookkeeping. critical is the index of the
+	// worker whose completion released ranking (-1 until known); rank
+	// is the serial aggregation thread.
+	workers  []qworker
+	critical int
+	rank     *cpumodel.Thread
+}
+
+// qworker tracks one matcher burst for critical-path attribution.
+// The wake event fires exactly at planned, and a cache miss submits
+// its SSD read in that same event, so started-planned is precisely
+// the disk gate and planned-arrival the deliberate wake spread.
+type qworker struct {
+	t        *cpumodel.Thread // nil until the burst is spawned
+	planned  sim.Time
+	started  sim.Time
+	finished bool
 }
 
 // New binds a server to a machine. ssd and hdd may be nil.
@@ -187,19 +218,27 @@ func (s *Server) SubmitObserved(spec workload.QuerySpec, fn func(Response)) {
 		arrival:  s.eng.Now(),
 		rng:      sim.SeededRNG(spec.Seed),
 		observer: fn,
+		critical: -1,
 	}
 	s.inFlight++
 
 	k := q.rng.IntBetween(s.cfg.WorkersMin, s.cfg.WorkersMax)
 	q.outstanding = k
+	q.workers = make([]qworker, k)
 	all := cpumodel.AllCores(s.cpu.Cores())
+	if s.trace != nil {
+		s.trace.Begin(q.arrival, q.id, "query", "query",
+			simtrace.KV{Key: "workers", Value: strconv.Itoa(k)})
+	}
 
 	for i := 0; i < k; i++ {
+		idx := i
 		demand := s.workerDemand(q, i)
 		wake := sim.Duration(0)
 		if k > 1 {
 			wake = s.cfg.BurstSpread * sim.Duration(i) / sim.Duration(k)
 		}
+		q.workers[i].planned = q.arrival.Add(wake)
 		miss := s.SSD != nil && q.rng.Float64() < s.cfg.CacheMissProb
 		s.eng.After(wake, func() {
 			if q.done {
@@ -212,11 +251,11 @@ func (s *Server) SubmitObserved(spec workload.QuerySpec, fn func(Response)) {
 					Kind:       diskmodel.OpRead,
 					Bytes:      s.cfg.MissReadBytes,
 					Sequential: false,
-					OnComplete: func() { s.startWorker(q, demand, all) },
+					OnComplete: func() { s.startWorker(q, idx, demand, all) },
 				})
 				return
 			}
-			s.startWorker(q, demand, all)
+			s.startWorker(q, idx, demand, all)
 		})
 	}
 
@@ -238,6 +277,10 @@ func (s *Server) SubmitObserved(spec workload.QuerySpec, fn func(Response)) {
 			if s.cfg.SpecInFlightCap > 0 && s.inFlight > s.cfg.SpecInFlightCap {
 				return
 			}
+			if s.trace != nil {
+				s.trace.Instant(s.eng.Now(), simtrace.TrackControl, "spec-checkpoint", "query",
+					simtrace.KV{Key: "query", Value: strconv.Itoa(q.id)})
+			}
 			for i := 0; i < s.cfg.SpecWorkers; i++ {
 				t := s.cpu.Spawn(s.Proc, s.cfg.SpecBurst, all, nil)
 				q.threads = append(q.threads, t)
@@ -253,7 +296,7 @@ func (s *Server) workerDemand(q *query, i int) sim.Duration {
 	return q.rng.LogNormalDuration(s.cfg.HelperMedian, s.cfg.HelperSigma)
 }
 
-func (s *Server) startWorker(q *query, demand sim.Duration, aff cpumodel.CPUSet) {
+func (s *Server) startWorker(q *query, idx int, demand sim.Duration, aff cpumodel.CPUSet) {
 	if q.done {
 		return
 	}
@@ -261,11 +304,15 @@ func (s *Server) startWorker(q *query, demand sim.Duration, aff cpumodel.CPUSet)
 		if q.done {
 			return
 		}
+		q.workers[idx].finished = true
 		q.outstanding--
 		if q.outstanding == 0 {
+			q.critical = idx
 			s.rank(q)
 		}
 	})
+	q.workers[idx].t = t
+	q.workers[idx].started = s.eng.Now()
 	q.threads = append(q.threads, t)
 }
 
@@ -278,6 +325,7 @@ func (s *Server) rank(q *query) {
 		}
 		s.finish(q, false)
 	})
+	q.rank = t
 	q.threads = append(q.threads, t)
 }
 
@@ -315,6 +363,18 @@ func (s *Server) finish(q *query, dropped bool) {
 			Bytes: s.cfg.ResponseBytes,
 		})
 	}
+	if s.OnRecord != nil {
+		s.OnRecord(s.forensics(q, latency, dropped))
+	}
+	if s.trace != nil {
+		drop := "false"
+		if dropped {
+			drop = "true"
+		}
+		s.trace.End(s.eng.Now(), q.id, "query", "query",
+			simtrace.KV{Key: "dropped", Value: drop},
+			simtrace.KV{Key: "latency_us", Value: strconv.FormatInt(int64(latency)/1000, 10)})
+	}
 	resp := Response{ID: q.id, Latency: latency, Dropped: dropped}
 	if s.OnResponse != nil {
 		s.OnResponse(resp)
@@ -322,4 +382,57 @@ func (s *Server) finish(q *query, dropped bool) {
 	if q.observer != nil {
 		q.observer(resp)
 	}
+}
+
+// forensics decomposes the query's latency along its critical path.
+// Called after the query's threads were cancelled, so every in-flight
+// run/wait interval has been charged to its thread's accumulators and
+// each thread's forensic partition covers spawn-to-end exactly.
+func (s *Server) forensics(q *query, latency sim.Duration, dropped bool) simtrace.QueryRecord {
+	rec := simtrace.QueryRecord{ID: q.id, Dropped: dropped, Latency: latency}
+	// The critical worker: for completed queries (and drops that reached
+	// ranking) the matcher whose completion released the rank stage; for
+	// earlier drops the first still-unfinished matcher — every
+	// unfinished matcher spans the whole latency window, so index order
+	// is a deterministic and exact choice.
+	idx := q.critical
+	if idx < 0 {
+		for i := range q.workers {
+			if !q.workers[i].finished {
+				idx = i
+				break
+			}
+		}
+	}
+	if idx < 0 {
+		// No unfinished matcher and ranking never started: nothing to
+		// attribute beyond the residual (cannot happen in practice).
+		rec.Other = latency
+		return rec
+	}
+	w := &q.workers[idx]
+	rec.Spread = w.planned.Sub(q.arrival)
+	if w.t != nil {
+		rec.Disk = w.started.Sub(w.planned)
+		run, queue, harvest, evict, parked := w.t.ForensicTimes()
+		rec.Service += run
+		rec.Queue += queue
+		rec.Harvest += harvest
+		rec.Evict += evict
+		rec.Throttle += parked
+	} else {
+		// Dropped while still gated on the index read: the whole
+		// remainder is disk wait.
+		rec.Disk = q.arrival.Add(latency).Sub(w.planned)
+	}
+	if q.rank != nil {
+		run, queue, harvest, evict, parked := q.rank.ForensicTimes()
+		rec.Service += run
+		rec.Queue += queue
+		rec.Harvest += harvest
+		rec.Evict += evict
+		rec.Throttle += parked
+	}
+	rec.Other = latency - rec.Attributed()
+	return rec
 }

@@ -1,8 +1,11 @@
 package indexserve
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
+
+	"perfiso/internal/simtrace"
 
 	"perfiso/internal/cpumodel"
 	"perfiso/internal/sim"
@@ -277,5 +280,74 @@ func TestPrimaryClassAccounting(t *testing.T) {
 	total := b.PrimaryPct + b.SecondaryPct + b.OSPct + b.IdlePct
 	if total < 99.5 || total > 100.5 {
 		t.Fatalf("breakdown sums to %.2f%%, want 100%%", total)
+	}
+}
+
+// TestForensicRecordsPartitionLatency checks the tail-forensics
+// contract: every finished query yields exactly one record whose named
+// causes plus residual reconstruct the latency exactly, with no
+// negative component.
+func TestForensicRecordsPartitionLatency(t *testing.T) {
+	eng, m, s := newServer(t)
+	var recs []simtrace.QueryRecord
+	s.OnRecord = func(r simtrace.QueryRecord) { recs = append(recs, r) }
+	replay(eng, s, 5000, 4000, 7)
+	if want := int(s.Completed + s.Dropped); len(recs) != want {
+		t.Fatalf("%d records for %d finished queries", len(recs), want)
+	}
+	for _, r := range recs {
+		sum := r.Attributed() + r.Other
+		if sum != r.Latency {
+			t.Fatalf("query %d: components sum to %v, latency %v", r.ID, sum, r.Latency)
+		}
+		for _, c := range simtrace.Causes {
+			if r.Cause(c) < 0 {
+				t.Fatalf("query %d: negative %s component %v", r.ID, c, r.Cause(c))
+			}
+		}
+	}
+	m.CheckInvariants()
+}
+
+// TestSimTraceQuerySpans checks that with a tracer attached every
+// finished query opens and closes exactly one async span, and the
+// emitted Chrome JSON validates.
+func TestSimTraceQuerySpans(t *testing.T) {
+	eng, m, s := newServer(t)
+	tr := simtrace.New()
+	m.SetSimTracer(tr)
+	s.SetSimTracer(tr)
+	replay(eng, s, 2000, 4000, 11)
+	finished := int(s.Completed + s.Dropped)
+	begins := map[int]int{}
+	ends := map[int]int{}
+	for _, e := range tr.Events() {
+		if e.Name != "query" {
+			continue
+		}
+		switch e.Kind {
+		case simtrace.KindBegin:
+			begins[e.ID]++
+		case simtrace.KindEnd:
+			ends[e.ID]++
+		}
+	}
+	if len(ends) != finished {
+		t.Fatalf("%d ended spans for %d finished queries", len(ends), finished)
+	}
+	for id, n := range ends {
+		if n != 1 {
+			t.Fatalf("query %d ended %d times", id, n)
+		}
+		if begins[id] != 1 {
+			t.Fatalf("query %d began %d times", id, begins[id])
+		}
+	}
+	var buf bytes.Buffer
+	if err := simtrace.WriteChrome(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := simtrace.ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("emitted trace fails validation: %v", err)
 	}
 }

@@ -22,6 +22,11 @@ const (
 	// MarkCDF sorts points by X and draws a step-after curve — Y is a
 	// cumulative fraction in [0, 1].
 	MarkCDF
+	// MarkArea fills the polygon between the series line and the plot
+	// bottom. Stacked-area figures list cumulative series largest
+	// first, so each later (smaller) fill leaves the one below visible
+	// as a band.
+	MarkArea
 )
 
 // XY is one chart point.
@@ -247,6 +252,15 @@ func (c Chart) Render() []byte {
 			pts = append([]XY(nil), pts...)
 			sort.Slice(pts, func(a, b int) bool { return pts[a].X < pts[b].X })
 		}
+		if s.Mark == MarkArea && len(pts) > 1 {
+			d := "M" + fmtCoord(sx(pts[0].X)) + " " + fmtCoord(y1)
+			for _, p := range pts {
+				d += " L" + fmtCoord(sx(p.X)) + " " + fmtCoord(sy(p.Y))
+			}
+			d += " L" + fmtCoord(sx(pts[len(pts)-1].X)) + " " + fmtCoord(y1) + " Z"
+			w.element("path", "d", d, "fill", color, "fill-opacity", "0.85",
+				"stroke", color, "stroke-width", "1")
+		}
 		if (s.Mark == MarkLine || s.Mark == MarkStep || s.Mark == MarkCDF) && len(pts) > 1 {
 			d := "M" + fmtCoord(sx(pts[0].X)) + " " + fmtCoord(sy(pts[0].Y))
 			for i := 1; i < len(pts); i++ {
@@ -260,13 +274,15 @@ func (c Chart) Render() []byte {
 			w.element("path", "d", d, "fill", "none",
 				"stroke", color, "stroke-width", "1.5")
 		}
-		r := "2.5"
-		if s.Mark == MarkScatter {
-			r = "3.5"
-		}
-		for _, p := range pts {
-			w.element("circle", "cx", fmtCoord(sx(p.X)), "cy", fmtCoord(sy(p.Y)),
-				"r", r, "fill", color)
+		if s.Mark != MarkArea {
+			r := "2.5"
+			if s.Mark == MarkScatter {
+				r = "3.5"
+			}
+			for _, p := range pts {
+				w.element("circle", "cx", fmtCoord(sx(p.X)), "cy", fmtCoord(sy(p.Y)),
+					"r", r, "fill", color)
+			}
 		}
 	}
 

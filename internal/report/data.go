@@ -25,23 +25,26 @@ type Track struct {
 }
 
 // Dataset is the renderer's only input: the scalar metrics of
-// cells.csv plus the per-cell time series of series.csv. It can be
-// built from a live run (DatasetOf) or from the committed artifacts
-// (LoadDir); both yield byte-identical figures because the CSVs print
-// floats with the shortest round-trippable representation.
+// cells.csv, the per-cell time series of series.csv, and the
+// tail-blame stats of forensics.csv. It can be built from a live run
+// (DatasetOf) or from the committed artifacts (LoadDir); both yield
+// byte-identical figures because the CSVs print floats with the
+// shortest round-trippable representation.
 //
 // All accessors return sorted views, so figure bytes never depend on
 // insertion order.
 type Dataset struct {
-	metrics map[string]map[string]map[string]float64
-	series  map[string]map[string][]Track
+	metrics   map[string]map[string]map[string]float64
+	series    map[string]map[string][]Track
+	forensics map[string]map[string]map[string]map[string]float64
 }
 
 // NewDataset returns an empty dataset.
 func NewDataset() *Dataset {
 	return &Dataset{
-		metrics: map[string]map[string]map[string]float64{},
-		series:  map[string]map[string][]Track{},
+		metrics:   map[string]map[string]map[string]float64{},
+		series:    map[string]map[string][]Track{},
+		forensics: map[string]map[string]map[string]map[string]float64{},
 	}
 }
 
@@ -78,10 +81,47 @@ func (d *Dataset) AddSeriesPoint(exp, cell, track, unit string, t, v float64) {
 	cells[cell] = append(tracks, Track{Name: track, Unit: unit, Points: []Point{{T: t, V: v}}})
 }
 
+// AddForensic records one tail-blame stat of a cell's quantile row.
+func (d *Dataset) AddForensic(exp, cell, quantile, stat string, v float64) {
+	cells := d.forensics[exp]
+	if cells == nil {
+		cells = map[string]map[string]map[string]float64{}
+		d.forensics[exp] = cells
+	}
+	quants := cells[cell]
+	if quants == nil {
+		quants = map[string]map[string]float64{}
+		cells[cell] = quants
+	}
+	stats := quants[quantile]
+	if stats == nil {
+		stats = map[string]float64{}
+		quants[quantile] = stats
+	}
+	stats[stat] = v
+}
+
 // Metric looks up one scalar cell metric.
 func (d *Dataset) Metric(exp, cell, metric string) (float64, bool) {
 	v, ok := d.metrics[exp][cell][metric]
 	return v, ok
+}
+
+// Forensic looks up one tail-blame stat.
+func (d *Dataset) Forensic(exp, cell, quantile, stat string) (float64, bool) {
+	v, ok := d.forensics[exp][cell][quantile][stat]
+	return v, ok
+}
+
+// ForensicsCells lists the experiment's cells with blame tables,
+// sorted.
+func (d *Dataset) ForensicsCells(exp string) []string {
+	var keys []string
+	for k := range d.forensics[exp] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Cells lists the experiment's cells with scalar metrics, sorted.
@@ -147,15 +187,23 @@ func DatasetOf(res experiments.RunResult) *Dataset {
 				}
 			}
 		}
+		for _, fr := range e.Report.Forensics {
+			d.AddForensic(e.Name, fr.Cell, "all", "queries", float64(fr.Table.Queries))
+			for _, row := range fr.Table.Rows {
+				for _, m := range experiments.ForensicsStats(row.Record) {
+					d.AddForensic(e.Name, fr.Cell, row.Quantile, m.Name, m.Value)
+				}
+			}
+		}
 	}
 	return d
 }
 
 // LoadDir parses the committed artifacts of one results directory:
-// cells.csv (required) and series.csv (optional — older artifacts
-// lack it). Values parse back to the exact in-memory floats, so
-// figures rendered from disk match figures rendered from a live run
-// byte for byte.
+// cells.csv (required) plus series.csv and forensics.csv (optional —
+// older artifacts lack them). Values parse back to the exact
+// in-memory floats, so figures rendered from disk match figures
+// rendered from a live run byte for byte.
 func LoadDir(dir string) (*Dataset, error) {
 	d := NewDataset()
 	cells, err := os.ReadFile(filepath.Join(dir, "cells.csv"))
@@ -193,6 +241,24 @@ func LoadDir(dir string) (*Dataset, error) {
 		return nil
 	}); err != nil {
 		return nil, fmt.Errorf("report: %s: %w", filepath.Join(dir, "series.csv"), err)
+	}
+
+	forensics, err := os.ReadFile(filepath.Join(dir, "forensics.csv"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return d, nil
+		}
+		return nil, err
+	}
+	if err := parseCSV(string(forensics), "experiment,cell,quantile,stat,value", 5, func(f []string) error {
+		v, err := strconv.ParseFloat(f[4], 64)
+		if err != nil {
+			return err
+		}
+		d.AddForensic(f[0], f[1], f[2], f[3], v)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("report: %s: %w", filepath.Join(dir, "forensics.csv"), err)
 	}
 	return d, nil
 }

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"perfiso/internal/simtrace"
 )
 
 // Figure is one rendered chart: Name is the artifact file stem
@@ -30,6 +32,8 @@ func specs() []figureSpec {
 	return []figureSpec{
 		{"fig4-p99-series", "Fig. 4 — windowed P99 under unrestricted secondaries", fig4Series},
 		{"fig4-cdf", "Fig. 4 — latency distribution, standalone vs bullies", fig4CDF},
+		{"forensics-decomposition", "Tail forensics — latency decomposition across percentiles (high bully, 2,000 QPS)", forensicsDecomposition},
+		{"forensics-blame", "Tail forensics — P99 blame by cause, standalone vs high bully", forensicsBlame},
 		{"fig5-latency", "Fig. 5 — P99 vs load under blind isolation", latencyVsQPS("fig5")},
 		{"fig5-alloc", "Fig. 5 — blind governor core allocation over time", fig5Alloc},
 		{"fig6-latency", "Fig. 6 — P99 vs load under static core restriction", latencyVsQPS("fig6")},
@@ -135,6 +139,65 @@ func fig4CDF(ds *Dataset) (Chart, bool) {
 	}
 	return Chart{XLabel: "latency (ms)", YLabel: "fraction of queries",
 		FixedY: true, YMin: 0, YMax: 1, Series: series}, len(series) > 0
+}
+
+// The forensics figures anchor on the Fig. 4 headline cells at the
+// paper's average load: the unrestricted high bully (the worst tail)
+// against the standalone baseline.
+const (
+	forensicsExp      = "fig4"
+	forensicsCellHigh = "bully=high/qps=2000"
+	forensicsCellBase = "bully=standalone/qps=2000"
+)
+
+// forensicsDecomposition stacks the attributed-latency causes of the
+// high-bully cell's P50–P99.9 queries: each band is one cause's share
+// of that quantile query's critical path. Series hold cumulative sums
+// drawn largest first, so the fills layer into a stacked area.
+func forensicsDecomposition(ds *Dataset) (Chart, bool) {
+	quantiles := simtrace.Quantiles
+	var series []Series
+	for ci := len(simtrace.Causes) - 1; ci >= 0; ci-- {
+		var pts []XY
+		for qi, q := range quantiles {
+			sum := 0.0
+			for _, cause := range simtrace.Causes[:ci+1] {
+				v, ok := ds.Forensic(forensicsExp, forensicsCellHigh, q, cause+"_ms")
+				if !ok {
+					return Chart{}, false
+				}
+				sum += v
+			}
+			pts = append(pts, XY{float64(qi), sum})
+		}
+		series = append(series, Series{Name: simtrace.Causes[ci], Mark: MarkArea, Points: pts})
+	}
+	return Chart{XLabel: "latency percentile", YLabel: "attributed latency (ms)",
+		XCats: append([]string(nil), quantiles...), Series: series}, true
+}
+
+// forensicsBlame compares where the P99 query's time goes with and
+// without the high bully — one line per cell across the fixed cause
+// order.
+func forensicsBlame(ds *Dataset) (Chart, bool) {
+	cells := []struct{ cell, label string }{
+		{forensicsCellBase, "standalone"},
+		{forensicsCellHigh, "high bully"},
+	}
+	var series []Series
+	for _, c := range cells {
+		var pts []XY
+		for i, cause := range simtrace.Causes {
+			v, ok := ds.Forensic(forensicsExp, c.cell, "p99", cause+"_ms")
+			if !ok {
+				return Chart{}, false
+			}
+			pts = append(pts, XY{float64(i), v})
+		}
+		series = append(series, Series{Name: c.label, Mark: MarkLine, Points: pts})
+	}
+	return Chart{XLabel: "attributed cause", YLabel: "P99 query latency (ms)",
+		XCats: append([]string(nil), simtrace.Causes...), Series: series}, true
 }
 
 // latencyVsQPS plots P99 against load, one line per policy prefix —

@@ -30,6 +30,13 @@ func markCharts() map[string]Chart {
 		"ordinal": {Title: "ordinal", XLabel: "technique", YLabel: "ms",
 			XCats:  []string{"standalone", "blind", "cores"},
 			Series: []Series{{Mark: MarkLine, Points: []XY{{0, 10}, {1, 11}, {2, 14}}}}},
+		// Stacked area: cumulative series drawn largest first, the way
+		// the forensics decomposition builds them.
+		"area": {Title: "area", XLabel: "quantile", YLabel: "ms",
+			XCats: []string{"p50", "p99"},
+			Series: []Series{
+				{Name: "total", Mark: MarkArea, Points: []XY{{0, 12}, {1, 40}}},
+				{Name: "service", Mark: MarkArea, Points: []XY{{0, 8}, {1, 10}}}}},
 	}
 }
 

@@ -1,0 +1,162 @@
+package simtrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// controlTID is the Chrome thread id carrying TrackControl events;
+// it sits far above any plausible core count.
+const controlTID = 999
+
+func tid(track int) int {
+	if track < 0 {
+		return controlTID
+	}
+	return track
+}
+
+// tsMicros renders a sim timestamp as microseconds with fixed
+// 3-decimal nanosecond precision — a deterministic decimal string.
+func tsMicros(ns int64) string {
+	if ns < 0 {
+		ns = 0
+	}
+	return strconv.FormatInt(ns/1000, 10) + "." + fmt.Sprintf("%03d", ns%1000)
+}
+
+func writeArgs(w io.Writer, args []KV) {
+	io.WriteString(w, `,"args":{`)
+	for i, a := range args {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		io.WriteString(w, strconv.Quote(a.Key))
+		io.WriteString(w, ":")
+		io.WriteString(w, strconv.Quote(a.Value))
+	}
+	io.WriteString(w, "}")
+}
+
+// WriteChrome serializes the tracer's events as Chrome trace-event
+// JSON (the {"traceEvents":[...]} object form), loadable in Perfetto
+// or chrome://tracing. Events are ordered by (TS, Seq) after the
+// track-name metadata, and every field is rendered with a fixed
+// format, so the output bytes are a pure function of the capture.
+func WriteChrome(w io.Writer, t *Tracer) error {
+	bw := bufio.NewWriter(w)
+	io.WriteString(bw, "{\"traceEvents\":[\n")
+	io.WriteString(bw, `{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"perfiso-sim"}}`)
+	for _, tr := range t.Tracks() {
+		fmt.Fprintf(bw, ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":%s}}",
+			tid(tr.ID), strconv.Quote(tr.Name))
+	}
+	fmt.Fprintf(bw, ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"control\"}}", controlTID)
+	for _, e := range t.Events() {
+		io.WriteString(bw, ",\n{")
+		io.WriteString(bw, `"name":`)
+		io.WriteString(bw, strconv.Quote(e.Name))
+		if e.Cat != "" {
+			io.WriteString(bw, `,"cat":`)
+			io.WriteString(bw, strconv.Quote(e.Cat))
+		}
+		switch e.Kind {
+		case KindSlice:
+			fmt.Fprintf(bw, `,"ph":"X","pid":0,"tid":%d,"ts":%s,"dur":%s`,
+				tid(e.Track), tsMicros(int64(e.TS)), tsMicros(int64(e.Dur)))
+		case KindBegin:
+			fmt.Fprintf(bw, `,"ph":"b","pid":0,"tid":%d,"id":"%d","ts":%s`,
+				tid(e.Track), e.ID, tsMicros(int64(e.TS)))
+		case KindEnd:
+			fmt.Fprintf(bw, `,"ph":"e","pid":0,"tid":%d,"id":"%d","ts":%s`,
+				tid(e.Track), e.ID, tsMicros(int64(e.TS)))
+		case KindInstant:
+			fmt.Fprintf(bw, `,"ph":"i","s":"t","pid":0,"tid":%d,"ts":%s`,
+				tid(e.Track), tsMicros(int64(e.TS)))
+		}
+		if len(e.Args) > 0 {
+			writeArgs(bw, e.Args)
+		}
+		io.WriteString(bw, "}")
+	}
+	io.WriteString(bw, "\n]}\n")
+	return bw.Flush()
+}
+
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	TS   *float64         `json:"ts"`
+	Dur  *float64         `json:"dur"`
+	ID   *json.RawMessage `json:"id"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// ValidateChrome checks that data is a well-formed Chrome trace-event
+// JSON object: known phases only, timestamps present where required,
+// non-negative durations, per-track monotone non-decreasing
+// timestamps, and every async end matching a previously opened begin
+// (spans still open at end-of-capture are legal — they are queries in
+// flight when the simulation stopped).
+func ValidateChrome(data []byte) error {
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("no traceEvents")
+	}
+	lastTS := make(map[[2]int]float64)
+	open := make(map[string]int)
+	for i, e := range f.TraceEvents {
+		if e.Name == "" {
+			return fmt.Errorf("event %d: missing name", i)
+		}
+		switch e.Ph {
+		case "M":
+			continue
+		case "X":
+			if e.TS == nil || e.Dur == nil {
+				return fmt.Errorf("event %d (%s): slice missing ts/dur", i, e.Name)
+			}
+			if *e.Dur < 0 {
+				return fmt.Errorf("event %d (%s): negative dur %g", i, e.Name, *e.Dur)
+			}
+		case "b", "e":
+			if e.TS == nil || e.ID == nil {
+				return fmt.Errorf("event %d (%s): async event missing ts/id", i, e.Name)
+			}
+			key := e.Cat + "\x00" + e.Name + "\x00" + string(*e.ID)
+			if e.Ph == "b" {
+				open[key]++
+			} else {
+				if open[key] == 0 {
+					return fmt.Errorf("event %d (%s): async end without begin", i, e.Name)
+				}
+				open[key]--
+			}
+		case "i":
+			if e.TS == nil {
+				return fmt.Errorf("event %d (%s): instant missing ts", i, e.Name)
+			}
+		default:
+			return fmt.Errorf("event %d (%s): unknown phase %q", i, e.Name, e.Ph)
+		}
+		track := [2]int{e.Pid, e.Tid}
+		if prev, ok := lastTS[track]; ok && *e.TS < prev {
+			return fmt.Errorf("event %d (%s): ts %g regresses below %g on track %d/%d",
+				i, e.Name, *e.TS, prev, e.Pid, e.Tid)
+		}
+		lastTS[track] = *e.TS
+	}
+	return nil
+}

@@ -45,6 +45,38 @@ if [ "$guard" = "1" ]; then
 	echo "WARN: event-heap new/old ratio regressed past 1.2x (set BENCH_STRICT=1 to fail)" >&2
 fi
 
+# Noop-overhead guard: the hot path with every observability layer off
+# (obs trackers since PR 6, sim-trace hooks since PR 10) must stay
+# within the ≤2% budget of the committed baseline. Compared before the
+# baseline file is overwritten. Single-shot -benchtime 1x timings on
+# shared runners are noisy, so the default is a warning — set
+# BENCH_STRICT=1 to make it fatal.
+if [ -f "$out" ]; then
+	noopbad=0
+	for name in 'BenchmarkStatsOverhead/noop' 'BenchmarkReproAll/workers=1'; do
+		base=$(sed -n "s|.*{\"name\": \"$name\", \"iterations\": [0-9]*, \"ns/op\": \([0-9.e+]*\)[,}].*|\1|p" "$out")
+		# $1 is the bench name, with a -GOMAXPROCS suffix unless it is 1.
+		cur=$(echo "$raw" | awk -v n="$name" '$1 == n || index($1, n "-") == 1 { print $3; exit }')
+		if [ -z "$base" ] || [ -z "$cur" ]; then
+			echo "noop-overhead guard: no baseline for $name, skipping" >&2
+			continue
+		fi
+		awk -v n="$name" -v c="$cur" -v b="$base" 'BEGIN {
+			printf "%s: %.0f ns/op vs baseline %.0f ns/op (ratio %.3f)\n", n, c, b, c / b
+		}' >&2
+		if awk -v c="$cur" -v b="$base" 'BEGIN { exit !(c > 1.02 * b) }'; then
+			noopbad=1
+		fi
+	done
+	if [ "$noopbad" = "1" ]; then
+		if [ "${BENCH_STRICT:-0}" = "1" ]; then
+			echo "FAIL: instrumentation-off hot path regressed past the 2% noop budget (BENCH_STRICT)" >&2
+			exit 1
+		fi
+		echo "WARN: instrumentation-off hot path regressed past the 2% noop budget (set BENCH_STRICT=1 to fail)" >&2
+	fi
+fi
+
 {
 	echo '{'
 	echo "  \"generated_by\": \"scripts/bench.sh\","
@@ -58,7 +90,8 @@ fi
 	echo '    "PR 5: BenchmarkDispatchOverhead prices the work-stealing dispatcher against the static shard plan at equal worker counts; on the 1-core PR machine: 45 units in 32.7s dispatched vs 30.8s static (~6%, loopback HTTP + 4-way oversubscription of one core — noise on multi-core)",'
 	echo '    "PR 6: BenchmarkStatsOverhead prices the obs tracker layer on the sim hot path: noop (the default everyone pays) vs a recording tracker vs recording plus RNG draw accounting; interleaved A/B of BenchmarkReproAll/workers=1 on the 1-core PR machine: seed 28.5s/28.1s vs instrumented-noop 27.2s/29.1s — the noop path is within run-to-run noise (well under the 2% budget)",'
 	echo '    "PR 7: engine core rewrite — flat 4-ary pointer-free event heap + slot-pooled callbacks (BenchmarkEventHeap old->new: 212->95 ns/op at depth 1k, 462->167 ns/op at depth 100k, 1->0 allocs/op), Agenda-streamed trace replay (peak heap depth ~12k -> tens), lazily cancelled deadline/spec/slice timers, pooled slice-event records, tombstoned thread lists, geometric histogram growth; BenchmarkReproAll/workers=1 on the 1-core PR machine: 30.78s -> 12.40s (2.48x cells/sec) with results/test and RESULTS.md byte-identical",'
-	echo '    "PR 9: BenchmarkRenderFigures prices the figure pipeline downstream of the simulator — LoadDir(results/test) CSVs rendered to all SVGs; ~5ms for 19 figures / 131KB on the 1-core PR machine, i.e. negligible next to any cell simulation"'
+	echo '    "PR 9: BenchmarkRenderFigures prices the figure pipeline downstream of the simulator — LoadDir(results/test) CSVs rendered to all SVGs; ~5ms for 19 figures / 131KB on the 1-core PR machine, i.e. negligible next to any cell simulation",'
+	echo '    "PR 10: BenchmarkStatsOverhead/simtrace prices a live sim-domain tracer (every query span, slice, and controller decision captured); the noop row now also covers the tracing-off nil checks, and this script compares it (plus ReproAll/workers=1) against the committed baseline with a 2% budget before overwriting it"'
 	echo '  ],'
 	echo '  "benchmarks": ['
 	printf '%s\n%s\n' "$raw" "$heapraw" | awk '
